@@ -1,0 +1,148 @@
+(* Table 1: the complexity landscape. Two outputs: (a) the paper's
+   table with each cell's formula evaluated at reference (n, D) points,
+   and (b) measured round counts on a common simulable instance for the
+   rows this repository implements. *)
+
+let cell_at ~n ~d = function
+  | None -> "open"
+  | Some c ->
+    Printf.sprintf "%s = %s" c.Baselines.Table1.formula
+      (Bench_common.fmt_large (c.Baselines.Table1.value ~n ~d))
+
+let print_formula_table ~n ~d =
+  Bench_common.subsection
+    (Printf.sprintf "Table 1 cells evaluated at n = %d, D = %d (polylog dropped)" n d);
+  let t =
+    Util.Table.create
+      ~headers:
+        [ "problem"; "variant"; "approx"; "classical UB"; "quantum UB"; "classical LB";
+          "quantum LB"; "this work" ]
+  in
+  List.iter
+    (fun (r : Baselines.Table1.row) ->
+      Util.Table.add_row t
+        [
+          Baselines.Table1.problem_to_string r.Baselines.Table1.problem;
+          (if r.Baselines.Table1.weighted then "weighted" else "unweighted");
+          Baselines.Table1.approx_to_string r.Baselines.Table1.approx;
+          cell_at ~n ~d r.Baselines.Table1.classical_ub;
+          cell_at ~n ~d r.Baselines.Table1.quantum_ub;
+          cell_at ~n ~d r.Baselines.Table1.classical_lb;
+          cell_at ~n ~d r.Baselines.Table1.quantum_lb;
+          (if r.Baselines.Table1.this_work then "*" else "");
+        ])
+    Baselines.Table1.rows;
+  Util.Table.print t
+
+let print_measured () =
+  Bench_common.subsection
+    "Measured rounds on one instance (ring of 8 cliques x 8 nodes, weights <= 16)";
+  let g = Bench_common.ring_of_cliques ~cliques:8 ~clique_size:8 ~max_w:16 ~seed:42 in
+  let n = Graphlib.Wgraph.n g in
+  let d = Bench_common.d_unweighted g in
+  let tree, _ = Congest.Tree.build g ~root:0 in
+  let t =
+    Util.Table.create
+      ~headers:[ "algorithm (row of Table 1)"; "answer"; "exact"; "measured rounds"; "notes" ]
+  in
+  (* Classical exact weighted diameter (the n-round row, naive honest
+     protocol). *)
+  let cd = Baselines.All_pairs.diameter g ~tree in
+  Util.Table.add_row t
+    [
+      "classical exact weighted diameter";
+      string_of_int cd.Baselines.All_pairs.value;
+      string_of_int cd.Baselines.All_pairs.value;
+      string_of_int cd.Baselines.All_pairs.rounds;
+      "token-flood APSP";
+    ];
+  let cr = Baselines.All_pairs.radius g ~tree in
+  Util.Table.add_row t
+    [
+      "classical exact weighted radius";
+      string_of_int cr.Baselines.All_pairs.value;
+      string_of_int cr.Baselines.All_pairs.value;
+      string_of_int cr.Baselines.All_pairs.rounds;
+      "token-flood APSP";
+    ];
+  (* Quantum unweighted diameter (Le Gall–Magniez row). *)
+  let lm = Baselines.Legall_magniez.diameter g ~rng:(Bench_common.rng 43) () in
+  Util.Table.add_row t
+    [
+      "quantum unweighted diameter sqrt(nD) [12]";
+      string_of_int lm.Baselines.Legall_magniez.value;
+      string_of_int lm.Baselines.Legall_magniez.exact;
+      string_of_int lm.Baselines.Legall_magniez.rounds;
+      Printf.sprintf "groups=%d x=%d" lm.Baselines.Legall_magniez.groups
+        lm.Baselines.Legall_magniez.group_size;
+    ];
+  (* Classical (1+eps)-approx APSP (Nanongkai'14): the classical
+     comparator for this work's row. *)
+  let aa = Baselines.Approx_apsp.run g ~tree ~rng:(Bench_common.rng 46) in
+  Util.Table.add_row t
+    [
+      "classical (1+eps)-approx APSP diameter [21]";
+      Printf.sprintf "%.0f" aa.Baselines.Approx_apsp.diameter_estimate;
+      string_of_int aa.Baselines.Approx_apsp.exact_diameter;
+      string_of_int aa.Baselines.Approx_apsp.rounds;
+      Printf.sprintf "guarantee=%b congestion_ok=%b" aa.Baselines.Approx_apsp.within_guarantee
+        aa.Baselines.Approx_apsp.congestion_ok;
+    ];
+  (* Classical 3/2-approx of the unweighted diameter ([15]/[3] row). *)
+  let th = Baselines.Three_halves.diameter g ~tree ~rng:(Bench_common.rng 47) in
+  Util.Table.add_row t
+    [
+      "classical 3/2-approx unweighted diameter [15,3]";
+      string_of_int th.Baselines.Three_halves.estimate;
+      string_of_int th.Baselines.Three_halves.exact;
+      string_of_int th.Baselines.Three_halves.rounds;
+      Printf.sprintf "|S|=%d within-3/2=%b" th.Baselines.Three_halves.sample_size
+        th.Baselines.Three_halves.within_three_halves;
+    ];
+  (* SSSP-based 2-approximation (the [8] row, simple-SSSP stand-in). *)
+  let sa = Baselines.Sssp_approx.diameter g ~tree in
+  Util.Table.add_row t
+    [
+      "classical 2-approx weighted diameter (SSSP)";
+      string_of_int sa.Baselines.Sssp_approx.estimate;
+      string_of_int sa.Baselines.Sssp_approx.exact;
+      string_of_int sa.Baselines.Sssp_approx.rounds;
+      Printf.sprintf "double sweep, within-2 = %b" sa.Baselines.Sssp_approx.within_factor_two;
+    ];
+  (* This work: quantum weighted diameter and radius. *)
+  let qd = Core.Algorithm.run g Core.Algorithm.Diameter ~rng:(Bench_common.rng 44) in
+  Util.Table.add_row t
+    [
+      "THIS WORK: quantum weighted diameter (1+o(1))";
+      Printf.sprintf "%.0f" qd.Core.Algorithm.estimate;
+      string_of_int qd.Core.Algorithm.exact;
+      string_of_int qd.Core.Algorithm.rounds;
+      Printf.sprintf "ratio=%.3f guarantee=%b" qd.Core.Algorithm.ratio
+        qd.Core.Algorithm.within_guarantee;
+    ];
+  let qr = Core.Algorithm.run g Core.Algorithm.Radius ~rng:(Bench_common.rng 45) in
+  Util.Table.add_row t
+    [
+      "THIS WORK: quantum weighted radius (1+o(1))";
+      Printf.sprintf "%.0f" qr.Core.Algorithm.estimate;
+      string_of_int qr.Core.Algorithm.exact;
+      string_of_int qr.Core.Algorithm.rounds;
+      Printf.sprintf "ratio=%.3f guarantee=%b" qr.Core.Algorithm.ratio
+        qr.Core.Algorithm.within_guarantee;
+    ];
+  Util.Table.print t;
+  Bench_common.note "instance: n=%d D_G=%d" n d;
+  Bench_common.note
+    "Absolute constants of the asymptotic quantum algorithm are large at n=%d; the" n;
+  Bench_common.note
+    "asymptotic shape is validated by the thm11_scaling and crossover sections below."
+
+let run () =
+  Bench_common.section "TABLE 1 — round-complexity landscape";
+  print_formula_table ~n:1_000_000 ~d:10;
+  print_formula_table ~n:1_000_000 ~d:10_000;
+  Bench_common.note
+    "Reading: at D = 10 = o(n^{1/3} = 100), this work's quantum UB (5.0e5) beats";
+  Bench_common.note
+    "the classical Omega(n) = 1e6 barrier; at D = 10^4 > n^{1/3} the min caps at n.";
+  print_measured ()

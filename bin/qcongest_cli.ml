@@ -1,0 +1,197 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     diameter / radius  — run the Theorem 1.1 quantum approximation on a
+                          generated network and report the estimate,
+                          guarantees and round accounting;
+     classical          — run the exact classical APSP baseline;
+     unweighted         — run the Le Gall–Magniez-style quantum search;
+     gadget             — build the Section 4 lower-bound gadget and
+                          check the diameter/radius gap;
+     params             — print Eq. (1)/(2) parameters and formulas. *)
+
+open Cmdliner
+
+(* ------------------------- common arguments ------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed (deterministic runs).")
+
+let family_arg =
+  let doc =
+    "Graph family: ring (ring of cliques), chain (path of cliques), gnp, grid, hard \
+     (low-hop/heavy-weight), tree."
+  in
+  Arg.(value & opt string "ring" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 48 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Target node count.")
+
+let max_w_arg =
+  Arg.(value & opt int 16 & info [ "max-weight" ] ~docv:"W" ~doc:"Maximum edge weight.")
+
+let cliques_arg =
+  Arg.(value & opt int 6 & info [ "cliques" ] ~docv:"C" ~doc:"Cliques for ring/chain families.")
+
+let input_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE"
+        ~doc:"Load the graph from an edge-list file (overrides --family; format: 'n <count>' \
+              header then 'u v w' lines).")
+
+let make_graph ?input family n max_w cliques seed =
+  match input with
+  | Some path -> Graphlib.Io.load ~path
+  | None ->
+  let rng = Util.Rng.create ~seed in
+  let weighting = Graphlib.Gen.Uniform { max_w } in
+  match family with
+  | "ring" ->
+    Graphlib.Gen.cliques_cycle ~cliques ~clique_size:(max 1 (n / cliques)) ~weighting ~rng
+  | "chain" ->
+    Graphlib.Gen.cliques_path ~cliques ~clique_size:(max 1 (n / cliques)) ~weighting ~rng
+  | "gnp" -> Graphlib.Gen.gnp_connected ~n ~p:0.15 ~weighting ~rng
+  | "grid" ->
+    let side = max 1 (Util.Int_math.isqrt n) in
+    Graphlib.Gen.grid ~rows:side ~cols:(Util.Int_math.ceil_div n side) ~weighting ~rng
+  | "hard" -> Graphlib.Gen.weighted_hard_diameter ~n ~heavy:(max_w * 50) ~rng
+  | "tree" -> Graphlib.Gen.random_tree ~n ~weighting ~rng
+  | other -> failwith (Printf.sprintf "unknown family %S" other)
+
+let describe g =
+  Printf.printf "graph: n = %d, m = %d, W = %d, D_G = %d\n" (Graphlib.Wgraph.n g)
+    (Graphlib.Wgraph.m g) (Graphlib.Wgraph.max_weight g)
+    (Graphlib.Dist.to_int_exn (Graphlib.Bfs.diameter (Graphlib.Wgraph.with_unit_weights g)))
+
+(* --------------------------- subcommands --------------------------- *)
+
+let run_quantum objective input family n max_w cliques seed =
+  let g = make_graph ?input family n max_w cliques seed in
+  describe g;
+  let rng = Util.Rng.create ~seed:(seed + 1) in
+  let r = Core.Algorithm.run g objective ~rng in
+  Format.printf "%a@." Core.Algorithm.pp_result r;
+  Printf.printf "round breakdown:\n";
+  List.iter (fun (k, v) -> Printf.printf "  %-42s %d\n" k v) r.Core.Algorithm.breakdown
+
+let diameter_cmd =
+  let term =
+    Term.(
+      const (run_quantum Core.Algorithm.Diameter)
+      $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "diameter" ~doc:"Quantum (1+o(1))-approximate weighted diameter (Theorem 1.1).")
+    term
+
+let radius_cmd =
+  let term =
+    Term.(
+      const (run_quantum Core.Algorithm.Radius)
+      $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "radius" ~doc:"Quantum (1+o(1))-approximate weighted radius (Theorem 1.1).") term
+
+let run_classical input family n max_w cliques seed =
+  let g = make_graph ?input family n max_w cliques seed in
+  describe g;
+  let tree, ttrace = Congest.Tree.build g ~root:0 in
+  let d = Baselines.All_pairs.diameter g ~tree in
+  let r = Baselines.All_pairs.radius g ~tree in
+  Printf.printf "exact weighted diameter = %d (in %d rounds)\n" d.Baselines.All_pairs.value
+    d.Baselines.All_pairs.rounds;
+  Printf.printf "exact weighted radius   = %d (in %d rounds)\n" r.Baselines.All_pairs.value
+    r.Baselines.All_pairs.rounds;
+  Printf.printf "(BFS tree construction: %d rounds)\n" ttrace.Congest.Engine.rounds
+
+let classical_cmd =
+  let term =
+    Term.(const run_classical $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+  in
+  Cmd.v (Cmd.info "classical" ~doc:"Exact classical APSP baseline (token-flood protocol).") term
+
+let run_unweighted family n max_w cliques seed =
+  let g = make_graph family n max_w cliques seed in
+  describe g;
+  let rng = Util.Rng.create ~seed:(seed + 1) in
+  let r = Baselines.Legall_magniez.diameter g ~rng () in
+  Printf.printf
+    "quantum unweighted diameter = %d (exact %d, correct %b) in %d rounds\n\
+     groups = %d of size %d; outer iterations = %d\n"
+    r.Baselines.Legall_magniez.value r.Baselines.Legall_magniez.exact
+    r.Baselines.Legall_magniez.correct r.Baselines.Legall_magniez.rounds
+    r.Baselines.Legall_magniez.groups r.Baselines.Legall_magniez.group_size
+    r.Baselines.Legall_magniez.outer_iterations
+
+let unweighted_cmd =
+  let term =
+    Term.(const run_unweighted $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "unweighted" ~doc:"Le Gall–Magniez-style quantum unweighted diameter (Õ(√(nD))).")
+    term
+
+let run_gadget h density seed =
+  let rng = Util.Rng.create ~seed in
+  let p = Lowerbound.Gadget.params_of_h ~h in
+  let s2 = Util.Int_math.pow 2 p.Lowerbound.Gadget.s in
+  let input = Lowerbound.Boolfun.random_input ~rng ~s2 ~ell:p.Lowerbound.Gadget.ell ~p:density in
+  Printf.printf "h = %d: s = %d, ell = %d, m = %d, n = %d\n" h p.Lowerbound.Gadget.s
+    p.Lowerbound.Gadget.ell p.Lowerbound.Gadget.m p.Lowerbound.Gadget.expected_n;
+  let gd = Lowerbound.Gadget.build ~variant:Lowerbound.Gadget.Diameter_gadget ~h ~input () in
+  Printf.printf "structural invariants: %b\n" (Lowerbound.Gadget.structural_ok gd);
+  let gap = Lowerbound.Contraction_check.lemma_4_4 gd in
+  Printf.printf
+    "F(x,y) = %b; D_{G'} = %d; thresholds YES <= %d / NO >= %d; gap holds = %b\n"
+    gap.Lowerbound.Contraction_check.f_value gap.Lowerbound.Contraction_check.measured
+    gap.Lowerbound.Contraction_check.yes_threshold gap.Lowerbound.Contraction_check.no_threshold
+    gap.Lowerbound.Contraction_check.ok;
+  let gdr = Lowerbound.Gadget.build ~variant:Lowerbound.Gadget.Radius_gadget ~h ~input () in
+  let gapr = Lowerbound.Contraction_check.lemma_4_9 gdr in
+  Printf.printf "F'(x,y) = %b; R_{G'} = %d; gap holds = %b\n"
+    gapr.Lowerbound.Contraction_check.f_value gapr.Lowerbound.Contraction_check.measured
+    gapr.Lowerbound.Contraction_check.ok;
+  let b = Lowerbound.Theorem.bound_measured ~h in
+  Printf.printf "lower bound: Q^sv >= %.0f, T >= %.2f (n^{2/3} = %.1f)\n" b.Lowerbound.Theorem.q_sv
+    b.Lowerbound.Theorem.t_lower b.Lowerbound.Theorem.n_two_thirds
+
+let gadget_cmd =
+  let h_arg =
+    Arg.(value & opt int 4 & info [ "height" ] ~docv:"H" ~doc:"Gadget height (even, >= 2).")
+  in
+  let density_arg =
+    Arg.(value & opt float 0.6 & info [ "density" ] ~docv:"P" ~doc:"Input bit density.")
+  in
+  Cmd.v (Cmd.info "gadget" ~doc:"Build the Section 4 lower-bound gadget and verify the gaps.")
+    Term.(const run_gadget $ h_arg $ density_arg $ seed_arg)
+
+let run_params n d =
+  let p = Core.Params.of_graph_params ~n ~d_hat:d () in
+  Format.printf "Eq. (1): %a@." Core.Params.pp p;
+  let t0, t1, t2 = Core.Params.lemma_3_5_terms p in
+  Printf.printf "Lemma 3.5 terms (log-free): T0 = %.1f, T1 = %.1f, T2 = %.1f\n" t0 t1 t2;
+  Printf.printf "one evaluation of f(i): %.1f rounds\n" (Core.Params.lemma_3_5_rounds p);
+  Printf.printf "Theorem 1.1 total: %.1f (asymptotic min{n^0.9 D^0.3, n} = %.1f)\n"
+    (Core.Params.total_rounds p)
+    (Core.Params.theorem_1_1_rounds ~n ~d);
+  Printf.printf "quantum advantage (D < n^{1/3} = %.1f): %b\n"
+    (Baselines.Table1.crossover_d ~n)
+    (float_of_int d < Baselines.Table1.crossover_d ~n)
+
+let params_cmd =
+  let n_arg = Arg.(value & opt int 1024 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.") in
+  let d_arg = Arg.(value & opt int 16 & info [ "d"; "diameter" ] ~docv:"D" ~doc:"Unweighted diameter.") in
+  Cmd.v (Cmd.info "params" ~doc:"Print Eq. (1) parameters and the paper's cost formulas.")
+    Term.(const run_params $ n_arg $ d_arg)
+
+let () =
+  let info =
+    Cmd.info "qcongest"
+      ~doc:
+        "Quantum CONGEST weighted diameter/radius (Wu & Yao, PODC 2022) — simulator and \
+         reproduction toolkit"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; params_cmd ]))

@@ -1,0 +1,77 @@
+(* A guided tour of the lower-bound construction (Section 4 of the
+   paper): Alice and Bob's inputs become edge weights of a gadget
+   network whose weighted diameter encodes F(x, y); simulating any
+   fast CONGEST algorithm in the Server model would then compute F
+   with too little communication.
+
+   Run with:  dune exec examples/lower_bound_tour.exe *)
+
+let () =
+  let rng = Util.Rng.create ~seed:99 in
+  let h = 4 in
+  let p = Lowerbound.Gadget.params_of_h ~h in
+  let s2 = Util.Int_math.pow 2 p.Lowerbound.Gadget.s in
+  let ell = p.Lowerbound.Gadget.ell in
+  Printf.printf "Eq. (2) parameters at h = %d: s = %d, ell = %d, m = 2s+ell = %d paths\n" h
+    p.Lowerbound.Gadget.s ell p.Lowerbound.Gadget.m;
+  Printf.printf "node-count formula: n = (2^{h+1}-1) + (2s+ell)(2^h+2) + 2*2^s = %d\n\n"
+    p.Lowerbound.Gadget.expected_n;
+
+  (* Step 1: Alice and Bob receive inputs x, y of 2^s * ell bits. *)
+  let input = Lowerbound.Boolfun.random_input ~rng ~s2 ~ell ~p:0.55 in
+  let f = Lowerbound.Boolfun.f_diameter ~s2 ~ell input in
+  Printf.printf "step 1: random inputs drawn; F(x,y) = AND_i OR_j (x_ij AND y_ij) = %b\n" f;
+
+  (* Step 2: the gadget network (Figures 1-2). *)
+  let gd = Lowerbound.Gadget.build ~variant:Lowerbound.Gadget.Diameter_gadget ~h ~input () in
+  let n = Graphlib.Wgraph.n gd.Lowerbound.Gadget.graph in
+  Printf.printf "step 2: gadget built: n = %d, m = %d edges, alpha = n^2 = %d, beta = 2n^2 = %d\n"
+    n (Graphlib.Wgraph.m gd.Lowerbound.Gadget.graph) gd.Lowerbound.Gadget.alpha
+    gd.Lowerbound.Gadget.beta;
+  Printf.printf "        structural invariants hold: %b; unweighted diameter D_G = %d = Theta(log n)\n"
+    (Lowerbound.Gadget.structural_ok gd)
+    (Graphlib.Dist.to_int_exn
+       (Graphlib.Bfs.diameter (Graphlib.Wgraph.with_unit_weights gd.Lowerbound.Gadget.graph)));
+
+  (* Step 3: contract weight-1 edges (Lemma 4.3 / Figure 3). *)
+  let c = Lowerbound.Contraction_check.contract gd in
+  Printf.printf "step 3: contracting weight-1 edges: |G'| = %d nodes; Figure-3 structure: %b\n"
+    (Graphlib.Wgraph.n c.Lowerbound.Contraction_check.g')
+    (Lowerbound.Contraction_check.structure_ok gd c);
+
+  (* Step 4: the diameter gap (Lemma 4.4). *)
+  let gap = Lowerbound.Contraction_check.lemma_4_4 gd in
+  Printf.printf "step 4: D_{G',w} = %d;  YES-threshold max(2a,b)+n = %d, NO-threshold min(a+b,3a) = %d\n"
+    gap.Lowerbound.Contraction_check.measured gap.Lowerbound.Contraction_check.yes_threshold
+    gap.Lowerbound.Contraction_check.no_threshold;
+  Printf.printf "        gap encodes F correctly: %b; a (3/2 - 1/4)-approximation separates: %b\n"
+    gap.Lowerbound.Contraction_check.ok
+    (gap.Lowerbound.Contraction_check.distinguishable 0.25);
+
+  (* Step 5: the Server-model simulation (Lemma 4.1). *)
+  let validity =
+    Lowerbound.Server_model.check_schedule gd
+      ~rounds:(Lowerbound.Server_model.max_simulation_rounds gd)
+  in
+  Printf.printf
+    "step 5: ownership schedule valid for all %d simulable rounds: %b (Alice/Bob can\n"
+    validity.Lowerbound.Server_model.rounds_checked validity.Lowerbound.Server_model.valid;
+  Printf.printf "        always simulate their side; only A/B -> server messages cost anything)\n";
+
+  (* Step 6: the communication bound (Lemmas 4.5-4.7) and the round
+     lower bound. *)
+  Printf.printf "step 6: VER is a promise version of GDT: %b;\n"
+    (Lowerbound.Boolfun.ver_is_promise_of_gdt ());
+  Printf.printf "        deg_{1/3} of the read-once skeleton ~ sqrt(2^s*ell) gives\n";
+  let b = Lowerbound.Theorem.bound_measured ~h in
+  Printf.printf "        Q^{sv}_{1/12}(F) >= %.0f, hence T >= Q^{sv}/(h*B) = %.1f rounds\n"
+    b.Lowerbound.Theorem.q_sv b.Lowerbound.Theorem.t_lower;
+  Printf.printf "        (asymptotically Omega(n^{2/3}/log^2 n); at this n: n^{2/3} = %.0f)\n\n"
+    b.Lowerbound.Theorem.n_two_thirds;
+
+  (* The radius side (Theorem 4.8 / Figure 4). *)
+  let gdr = Lowerbound.Gadget.build ~variant:Lowerbound.Gadget.Radius_gadget ~h ~input () in
+  let gapr = Lowerbound.Contraction_check.lemma_4_9 gdr in
+  Printf.printf "radius variant (a_0 + weight-2a spokes): R_{G',w} = %d, F'(x,y) = %b, gap ok = %b\n"
+    gapr.Lowerbound.Contraction_check.measured gapr.Lowerbound.Contraction_check.f_value
+    gapr.Lowerbound.Contraction_check.ok

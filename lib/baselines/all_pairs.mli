@@ -1,0 +1,33 @@
+(** Classical CONGEST baselines: token-queued all-pairs shortest paths
+    and the exact diameter/radius they imply.
+
+    Every source floods Bellman–Ford tokens [(source, dist)]; each node
+    broadcasts at most one queued token per round (unit bandwidth,
+    enforced by construction), so the execution is a legal CONGEST
+    protocol whose measured round count is the baseline cost. On
+    unweighted graphs this is the [O(n)]-flavor APSP of
+    Holzer–Wattenhofer [17]; on weighted graphs it is the naive exact
+    APSP (the paper's Õ(n) reference [6] is far more intricate — we
+    report its cost by formula in Table 1 and measure this honest naive
+    protocol alongside). *)
+
+type output = {
+  dist : Graphlib.Dist.t array array;  (** [dist.(v).(s)]: correctness-checked. *)
+  trace : Congest.Engine.trace;
+  tokens_sent : int;
+}
+
+val run : Graphlib.Wgraph.t -> sources:int list -> output
+(** Flood from the given sources until quiescent. *)
+
+type extremum_output = {
+  value : int;  (** Exact [D_{G,w}] or [R_{G,w}]. *)
+  rounds : int;  (** APSP + eccentricity convergecast, measured. *)
+  trace : Congest.Engine.trace;
+}
+
+val diameter : Graphlib.Wgraph.t -> tree:Congest.Tree.t -> extremum_output
+(** Exact weighted diameter: full APSP, local eccentricities, global
+    max by convergecast. *)
+
+val radius : Graphlib.Wgraph.t -> tree:Congest.Tree.t -> extremum_output

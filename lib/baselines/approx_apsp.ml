@@ -1,0 +1,56 @@
+type output = {
+  dtilde : float array array;
+  diameter_estimate : float;
+  radius_estimate : float;
+  exact_diameter : int;
+  exact_radius : int;
+  within_guarantee : bool;
+  rounds : int;
+  congestion_ok : bool;
+}
+
+let run ?(eps = 0.5) g ~tree ~rng =
+  let n = Graphlib.Wgraph.n g in
+  if n < 1 then invalid_arg "Approx_apsp.run";
+  let params = { Graphlib.Reweight.ell = n; eps } in
+  let sources = Array.init n (fun i -> i) in
+  let alg3 = Nanongkai.Alg3.run g ~tree ~sources ~params ~rng in
+  (* dtilde.(u).(v): row u of the multi-source output is indexed by
+     source u at node v. *)
+  let dtilde = alg3.Nanongkai.Alg3.dtilde in
+  (* Every node knows d̃(u, v) for its own v; eccentricities are local,
+     the extrema are two convergecasts (the values are reals; one word
+     each under the standard weight assumption). *)
+  let local_ecc =
+    Array.init n (fun v ->
+        let best = ref 0.0 in
+        for u = 0 to n - 1 do
+          if dtilde.(u).(v) > !best then best := dtilde.(u).(v)
+        done;
+        !best)
+  in
+  let diameter_estimate, cc1 =
+    Congest.Tree.convergecast g tree ~values:local_ecc ~combine:Float.max
+      ~size_words:(fun _ -> 1)
+  in
+  let radius_estimate, cc2 =
+    Congest.Tree.convergecast g tree ~values:local_ecc ~combine:Float.min
+      ~size_words:(fun _ -> 1)
+  in
+  let exact_diameter = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter g) in
+  let exact_radius = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_radius g) in
+  let within lo est =
+    let lo = float_of_int lo in
+    est >= lo -. 1e-6 && est <= ((1.0 +. eps) *. lo) +. 1e-6
+  in
+  {
+    dtilde;
+    diameter_estimate;
+    radius_estimate;
+    exact_diameter;
+    exact_radius;
+    within_guarantee = within exact_diameter diameter_estimate && within exact_radius radius_estimate;
+    rounds =
+      alg3.Nanongkai.Alg3.charged_rounds + cc1.Congest.Engine.rounds + cc2.Congest.Engine.rounds;
+    congestion_ok = alg3.Nanongkai.Alg3.congestion_ok;
+  }

@@ -1,0 +1,25 @@
+(** Classical [(1+ε)]-approximate weighted APSP in [Õ(D + n/ε)] rounds
+    — Nanongkai's STOC'14 headline result, obtained here by running
+    Algorithm 3 with {e every} node as a source and the hop bound
+    disabled ([ℓ = n], so [d̃^ℓ = d̃] approximates true distances).
+
+    This is the engine behind Table 1's classical "n"-row for the
+    weighted [(1, 3/2)] regime: an [(1+ε)]-approximation of every
+    distance — hence of the diameter and radius — in measured [Õ(n)]
+    rounds. It also serves as the classical comparator the crossover
+    bench sweeps against. *)
+
+type output = {
+  dtilde : float array array;  (** [dtilde.(u).(v) ≈ d(u,v)], all pairs. *)
+  diameter_estimate : float;
+  radius_estimate : float;
+  exact_diameter : int;
+  exact_radius : int;
+  within_guarantee : bool;
+      (** Both estimates within [[exact, (1+ε)·exact]]. *)
+  rounds : int;  (** Charged rounds (delay broadcast + stretched concurrent phase + extrema). *)
+  congestion_ok : bool;
+}
+
+val run : ?eps:float -> Graphlib.Wgraph.t -> tree:Congest.Tree.t -> rng:Util.Rng.t -> output
+(** [eps] defaults to 0.5. Requires a connected graph. *)

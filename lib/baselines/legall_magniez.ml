@@ -1,0 +1,78 @@
+type result = {
+  value : int;
+  exact : int;
+  correct : bool;
+  rounds : int;
+  group_size : int;
+  groups : int;
+  outer_iterations : int;
+  outer_measurements : int;
+  t_eval_bound : int;
+}
+
+type objective = Max | Min
+
+let run g ~rng ?(delta = 0.1) ?(c = 3.0) ~objective () =
+  let topo = Graphlib.Wgraph.with_unit_weights g in
+  let n = Graphlib.Wgraph.n topo in
+  if n < 2 then invalid_arg "Legall_magniez: need n >= 2";
+  let tree, tree_trace = Congest.Tree.build topo ~root:0 in
+  let d_hat = max 1 (2 * tree.Congest.Tree.depth) in
+  let x = Util.Int_math.clamp ~lo:1 ~hi:n d_hat in
+  let groups = Util.Int_math.ceil_div n x in
+  let group_members gi = List.init (min x (n - (gi * x))) (fun j -> (gi * x) + j) in
+  (* Centralized group values for the amplification masses. *)
+  let ecc = Array.init n (fun src -> Graphlib.Bfs.eccentricity topo ~src) in
+  let opt a b = match objective with Max -> max a b | Min -> min a b in
+  let worst = match objective with Max -> 0 | Min -> Graphlib.Dist.inf in
+  let group_value gi =
+    List.fold_left (fun acc v -> opt acc ecc.(v)) worst (group_members gi)
+  in
+  let values = Array.init groups group_value in
+  let exact = Array.fold_left opt worst values in
+  let weights = Array.make groups 1.0 in
+  let rho = 1.0 /. float_of_int groups in
+  let zero = { Dqo.Cost.setup_rounds = 0; eval_rounds = 0 } in
+  let report =
+    match objective with
+    | Max -> Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho ~delta ~c ~cost:zero ()
+    | Min -> Dqo.Optimize.minimize ~rng ~weights ~values ~compare ~rho ~delta ~c ~cost:zero ()
+  in
+  (* Real pipelined-BFS runs for the measured groups. *)
+  let t_eval_bound =
+    List.fold_left
+      (fun acc gi ->
+        let out = All_pairs.run topo ~sources:(group_members gi) in
+        (* The group's extremal eccentricity would be aggregated by one
+           extra convergecast. *)
+        let _, cc =
+          Congest.Tree.convergecast topo tree
+            ~values:(Array.make n 0)
+            ~combine:max
+            ~size_words:(fun _ -> 1)
+        in
+        max acc (out.All_pairs.trace.Congest.Engine.rounds + cc.Congest.Engine.rounds))
+      0 report.Dqo.Optimize.touched
+  in
+  let ledger = report.Dqo.Optimize.ledger in
+  let t_setup = tree.Congest.Tree.depth + 1 in
+  let per_call = t_setup + t_eval_bound in
+  let rounds =
+    tree_trace.Congest.Engine.rounds
+    + (ledger.Dqo.Cost.grover_iterations * 2 * per_call)
+    + (ledger.Dqo.Cost.measurements * per_call)
+  in
+  {
+    value = report.Dqo.Optimize.best_value;
+    exact;
+    correct = report.Dqo.Optimize.best_value = exact;
+    rounds;
+    group_size = x;
+    groups;
+    outer_iterations = ledger.Dqo.Cost.grover_iterations;
+    outer_measurements = ledger.Dqo.Cost.measurements;
+    t_eval_bound;
+  }
+
+let diameter g ~rng ?delta ?c () = run g ~rng ?delta ?c ~objective:Max ()
+let radius g ~rng ?delta ?c () = run g ~rng ?delta ?c ~objective:Min ()

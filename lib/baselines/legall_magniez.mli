@@ -1,0 +1,33 @@
+(** A Le Gall–Magniez-style quantum algorithm for the *unweighted*
+    diameter/radius in [Õ(√(nD))] rounds [12] — the baseline that
+    Theorem 1.2 separates the weighted problem from.
+
+    Structure: partition the nodes into [⌈n/x⌉] groups of size
+    [x ≈ D]; evaluating one group means running [x] pipelined BFS's and
+    taking the extremal eccentricity ([O(x + D)] rounds, measured on
+    the token-flood protocol); the quantum search over groups costs
+    [O(√(n/x))] evaluations. With [x = D] the total is [O(√(nD))].
+
+    As in [lib/core], group values used for amplification masses come
+    from the centralized BFS reference, while every group the search
+    measures is re-run as a real protocol and the worst measured cost
+    is charged. *)
+
+type result = {
+  value : int;  (** Exact unweighted diameter/radius found. *)
+  exact : int;
+  correct : bool;
+  rounds : int;
+  group_size : int;
+  groups : int;
+  outer_iterations : int;
+  outer_measurements : int;
+  t_eval_bound : int;
+}
+
+val diameter :
+  Graphlib.Wgraph.t -> rng:Util.Rng.t -> ?delta:float -> ?c:float -> unit -> result
+(** Operates on the topology (weights ignored). *)
+
+val radius :
+  Graphlib.Wgraph.t -> rng:Util.Rng.t -> ?delta:float -> ?c:float -> unit -> result

@@ -1,0 +1,53 @@
+type output = {
+  estimate : int;
+  exact : int;
+  ratio : float;
+  within_factor_two : bool;
+  rounds : int;
+  sweeps : int;
+}
+
+(* One exact SSSP wavefront from [src] plus a convergecast so the
+   leader learns ecc(src) and (for the double sweep) the farthest
+   node. Returns ((ecc, farthest), trace). *)
+let sweep g ~tree ~src =
+  let bound = Graphlib.Wgraph.n g * Graphlib.Wgraph.max_weight g in
+  let out = Nanongkai.Alg2.run g ~src ~bound in
+  (* Convergecast of (dist, node), taking the max — the farthest node
+     and its distance reach the root in O(depth) rounds. *)
+  let values = Array.mapi (fun v d -> (d, v)) out.Nanongkai.Alg2.dist in
+  let (ecc, far), cc_trace =
+    Congest.Tree.convergecast g tree ~values ~combine:max ~size_words:(fun _ -> 1)
+  in
+  ((ecc, far), Congest.Engine.add_traces out.Nanongkai.Alg2.trace cc_trace)
+
+let diameter ?(double_sweep = true) g ~tree =
+  let (ecc0, far), t1 = sweep g ~tree ~src:tree.Congest.Tree.root in
+  let estimate, trace, sweeps =
+    if double_sweep && Graphlib.Dist.is_finite ecc0 then begin
+      let (ecc1, _), t2 = sweep g ~tree ~src:far in
+      (max ecc0 ecc1, Congest.Engine.add_traces t1 t2, 2)
+    end
+    else (ecc0, t1, 1)
+  in
+  let exact = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter g) in
+  {
+    estimate;
+    exact;
+    ratio = float_of_int exact /. float_of_int (max 1 estimate);
+    within_factor_two = estimate <= exact && exact <= 2 * estimate;
+    rounds = trace.Congest.Engine.rounds;
+    sweeps;
+  }
+
+let radius g ~tree =
+  let (ecc0, _), trace = sweep g ~tree ~src:tree.Congest.Tree.root in
+  let exact = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_radius g) in
+  {
+    estimate = ecc0;
+    exact;
+    ratio = float_of_int ecc0 /. float_of_int (max 1 exact);
+    within_factor_two = exact <= ecc0 && ecc0 <= 2 * exact;
+    rounds = trace.Congest.Engine.rounds;
+    sweeps = 1;
+  }

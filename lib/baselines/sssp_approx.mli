@@ -1,0 +1,26 @@
+(** The SSSP-based 2-approximation of weighted diameter and radius
+    (the Chechik–Mukhtar [8] row of Table 1, with the simple wavefront
+    SSSP standing in for their sophisticated [Õ(√n·D^{1/4}+D)]
+    protocol — our round count is the eccentricity of the source,
+    [Õ(ecc)], which the formula row complements).
+
+    One exact SSSP from the leader gives its eccentricity [e], and
+    [e ≤ D ≤ 2e] and [R ≤ e ≤ 2R]: so [e] 2-approximates both. A second
+    sweep from the farthest node (the classic double sweep) tightens
+    the diameter estimate in practice at the cost of one more SSSP. *)
+
+type output = {
+  estimate : int;  (** The eccentricity-based estimate. *)
+  exact : int;
+  ratio : float;  (** [exact / estimate] for diameter (≤ 2), mirrored for radius. *)
+  within_factor_two : bool;
+  rounds : int;
+  sweeps : int;
+}
+
+val diameter : ?double_sweep:bool -> Graphlib.Wgraph.t -> tree:Congest.Tree.t -> output
+(** Underestimates: [estimate ≤ D ≤ 2·estimate]. With
+    [double_sweep = true] (default), runs the second sweep. *)
+
+val radius : Graphlib.Wgraph.t -> tree:Congest.Tree.t -> output
+(** Overestimates: [R ≤ estimate ≤ 2·R]. *)

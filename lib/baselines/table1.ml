@@ -1,0 +1,114 @@
+type problem = Diameter | Radius
+
+type approx =
+  | Exact
+  | Below_three_halves
+  | Three_halves
+  | Range_one_to_three_halves
+  | Below_two
+  | Two
+
+type cell = {
+  formula : string;
+  value : n:int -> d:int -> float;
+  source : string;
+}
+
+type row = {
+  problem : problem;
+  weighted : bool;
+  approx : approx;
+  classical_ub : cell option;
+  quantum_ub : cell option;
+  classical_lb : cell option;
+  quantum_lb : cell option;
+  this_work : bool;
+}
+
+let f ~n ~d:_ = float_of_int n
+let fd ~n:_ ~d = float_of_int d
+
+let cell formula source value = Some { formula; value; source }
+
+let linear src = cell "n" src f
+
+let sqrt_nd src =
+  cell "√(nD)" src (fun ~n ~d -> sqrt (f ~n ~d *. fd ~n ~d))
+
+let cbrt_nd_plus_d src =
+  cell "∛(nD)+D" src (fun ~n ~d -> ((f ~n ~d *. fd ~n ~d) ** (1. /. 3.)) +. fd ~n ~d)
+
+let cbrt_nd2_plus_sqrt_n src =
+  cell "∛(nD²)+√n" src (fun ~n ~d ->
+      ((f ~n ~d *. (fd ~n ~d ** 2.)) ** (1. /. 3.)) +. sqrt (f ~n ~d))
+
+let sqrt_n_plus_d src = cell "√n+D" src (fun ~n ~d -> sqrt (f ~n ~d) +. fd ~n ~d)
+
+let this_work_ub =
+  cell "min{n^{9/10}D^{3/10}, n}" "this work" (fun ~n ~d ->
+      Float.min ((f ~n ~d ** 0.9) *. (fd ~n ~d ** 0.3)) (f ~n ~d))
+
+let this_work_lb = cell "n^{2/3}" "this work" (fun ~n ~d:_ -> float_of_int n ** (2. /. 3.))
+
+let sqrt_n_d14_plus_d src =
+  cell "√n·D^{1/4}+D" src (fun ~n ~d -> (sqrt (f ~n ~d) *. (fd ~n ~d ** 0.25)) +. fd ~n ~d)
+
+let mk problem weighted approx ~cub ~qub ~clb ~qlb ~tw =
+  {
+    problem;
+    weighted;
+    approx;
+    classical_ub = cub;
+    quantum_ub = qub;
+    classical_lb = clb;
+    quantum_lb = qlb;
+    this_work = tw;
+  }
+
+let rows =
+  [
+    (* Diameter, unweighted. *)
+    mk Diameter false Exact ~cub:(linear "[17,22]") ~qub:(sqrt_nd "[12]") ~clb:(linear "[11]")
+      ~qlb:(cbrt_nd2_plus_sqrt_n "[20]") ~tw:false;
+    mk Diameter false Below_three_halves ~cub:(linear "[17,22]") ~qub:(sqrt_nd "[12]")
+      ~clb:(linear "[2]") ~qlb:(sqrt_n_plus_d "[12]") ~tw:false;
+    mk Diameter false Three_halves ~cub:(sqrt_n_plus_d "[15,3]") ~qub:(cbrt_nd_plus_d "[12]")
+      ~clb:None ~qlb:None ~tw:false;
+    (* Diameter, weighted. *)
+    mk Diameter true Exact ~cub:(linear "[6]") ~qub:(linear "[6]") ~clb:(linear "[2]")
+      ~qlb:this_work_lb ~tw:false;
+    mk Diameter true Range_one_to_three_halves ~cub:(linear "[6]") ~qub:this_work_ub
+      ~clb:(linear "[2]") ~qlb:this_work_lb ~tw:true;
+    mk Diameter true Below_two ~cub:(linear "[6]") ~qub:this_work_ub ~clb:(linear "[16]")
+      ~qlb:(sqrt_n_plus_d "[12]") ~tw:false;
+    mk Diameter true Two ~cub:(sqrt_n_d14_plus_d "[8]") ~qub:(sqrt_n_d14_plus_d "[8]") ~clb:None
+      ~qlb:None ~tw:false;
+    (* Radius, unweighted. *)
+    mk Radius false Exact ~cub:(linear "[17,22]") ~qub:(sqrt_nd "[12]") ~clb:(linear "[11]")
+      ~qlb:(cbrt_nd2_plus_sqrt_n "[20]") ~tw:false;
+    mk Radius false Below_three_halves ~cub:(linear "[17,22]") ~qub:(sqrt_nd "[12]")
+      ~clb:(linear "[2]") ~qlb:(sqrt_n_plus_d "[12]") ~tw:false;
+    mk Radius false Three_halves ~cub:(sqrt_n_plus_d "[3]") ~qub:(sqrt_n_plus_d "[3]") ~clb:None
+      ~qlb:None ~tw:false;
+    (* Radius, weighted. *)
+    mk Radius true Exact ~cub:(linear "[6]") ~qub:(linear "[6]") ~clb:(linear "[2]")
+      ~qlb:this_work_lb ~tw:false;
+    mk Radius true Range_one_to_three_halves ~cub:(linear "[6]") ~qub:this_work_ub
+      ~clb:(linear "[2]") ~qlb:this_work_lb ~tw:true;
+    mk Radius true Two ~cub:(sqrt_n_d14_plus_d "[8]") ~qub:(sqrt_n_d14_plus_d "[8]") ~clb:None
+      ~qlb:None ~tw:false;
+  ]
+
+let approx_to_string = function
+  | Exact -> "exact"
+  | Below_three_halves -> "3/2-eps"
+  | Three_halves -> "3/2"
+  | Range_one_to_three_halves -> "(1,3/2)"
+  | Below_two -> "2-eps"
+  | Two -> "2"
+
+let problem_to_string = function Diameter -> "diameter" | Radius -> "radius"
+
+let crossover_d ~n = float_of_int n ** (1. /. 3.)
+
+let quantum_advantage_region ~n = crossover_d ~n > 1.0

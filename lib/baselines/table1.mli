@@ -1,0 +1,49 @@
+(** The paper's Table 1: the round-complexity landscape for diameter
+    and radius in CONGEST, with every cell as an evaluable formula.
+
+    Each cell carries the asymptotic expression (as printed in the
+    paper, polylog factors dropped), a closure evaluating it at a
+    concrete [(n, D)], and its citation. The benchmark harness prints
+    the table at chosen [(n, D)] points and overlays measured values
+    for the rows this repository implements. *)
+
+type problem = Diameter | Radius
+
+type approx =
+  | Exact
+  | Below_three_halves  (** [3/2 − ε]. *)
+  | Three_halves
+  | Range_one_to_three_halves  (** The paper's "(1, 3/2)" row — this work. *)
+  | Below_two  (** [2 − ε]. *)
+  | Two
+
+type cell = {
+  formula : string;
+  value : n:int -> d:int -> float;
+  source : string;  (** Citation key, e.g. "[12]" or "this work". *)
+}
+
+type row = {
+  problem : problem;
+  weighted : bool;
+  approx : approx;
+  classical_ub : cell option;
+  quantum_ub : cell option;
+  classical_lb : cell option;
+  quantum_lb : cell option;  (** [None] = open. *)
+  this_work : bool;
+}
+
+val rows : row list
+(** All 13 rows of Table 1, in the paper's order. *)
+
+val approx_to_string : approx -> string
+val problem_to_string : problem -> string
+
+val quantum_advantage_region : n:int -> bool
+(** Theorem 1.1 beats the classical [Ω̃(n)] exactly when
+    [D = o(n^{1/3})]; this evaluates the crossover at a concrete [n]
+    via {!crossover_d}. *)
+
+val crossover_d : n:int -> float
+(** The [D] at which [n^{9/10}·D^{3/10} = n], i.e. [n^{1/3}]. *)

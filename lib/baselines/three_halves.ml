@@ -1,0 +1,61 @@
+type output = {
+  estimate : int;
+  exact : int;
+  ratio : float;
+  within_three_halves : bool;
+  sample_size : int;
+  witness : int;
+  rounds : int;
+}
+
+let diameter g ~tree ~rng =
+  let topo = Graphlib.Wgraph.with_unit_weights g in
+  let n = Graphlib.Wgraph.n topo in
+  if n < 2 then invalid_arg "Three_halves.diameter";
+  let sample_size = min n (max 1 (Util.Int_math.isqrt n + 1)) in
+  let sample = Util.Rng.sample_without_replacement rng ~k:sample_size ~n in
+  (* Phase 1: pipelined BFS from every sampled node. *)
+  let bfs = All_pairs.run topo ~sources:sample in
+  (* Each node now knows d(s, v) for all s in S; in particular its
+     distance to S and each sampled node's eccentricity contribution.
+     Select w = argmax_v d(v, S) with one convergecast of (dist, v). *)
+  let dist_to_s =
+    Array.init n (fun v ->
+        List.fold_left (fun acc s -> min acc bfs.All_pairs.dist.(v).(s)) Graphlib.Dist.inf sample)
+  in
+  let (_, witness), sel_trace =
+    Congest.Tree.convergecast topo tree
+      ~values:(Array.mapi (fun v d -> (d, v)) dist_to_s)
+      ~combine:max
+      ~size_words:(fun _ -> 1)
+  in
+  (* Sampled nodes' eccentricities: each node holds its distances to S;
+     ecc(s) = max_v d(s, v) via one aggregated convergecast (a vector
+     of |S| distances; charged at |S| words per message). *)
+  let ecc_vectors = Array.init n (fun v -> List.map (fun s -> bfs.All_pairs.dist.(v).(s)) sample) in
+  let max_ecc_vec, ecc_trace =
+    Congest.Tree.convergecast topo tree ~values:ecc_vectors
+      ~combine:(List.map2 max)
+      ~size_words:(fun l -> max 1 (List.length l))
+  in
+  let best_sample_ecc = List.fold_left max 0 max_ecc_vec in
+  (* Phase 2: one more BFS, from w. *)
+  let final = All_pairs.run topo ~sources:[ witness ] in
+  let ecc_w =
+    Array.fold_left (fun acc row -> max acc row.(witness)) 0 final.All_pairs.dist
+  in
+  let estimate = max best_sample_ecc ecc_w in
+  let exact = Graphlib.Dist.to_int_exn (Graphlib.Bfs.diameter topo) in
+  let rounds =
+    bfs.All_pairs.trace.Congest.Engine.rounds + sel_trace.Congest.Engine.rounds
+    + ecc_trace.Congest.Engine.rounds + final.All_pairs.trace.Congest.Engine.rounds
+  in
+  {
+    estimate;
+    exact;
+    ratio = float_of_int exact /. float_of_int (max 1 estimate);
+    within_three_halves = 3 * estimate >= 2 * exact && estimate <= exact;
+    sample_size;
+    witness;
+    rounds;
+  }

@@ -1,0 +1,25 @@
+(** Classical 3/2-approximation of the {e unweighted} diameter in
+    [Õ(√n + D)] rounds — the Table 1 row of Holzer–Peleg–Roditty–
+    Wattenhofer [15] / Ancona et al. [3], in its
+    Roditty–Vassilevska-Williams estimator form:
+
+    sample [|S| ≈ √n] nodes, BFS from each (pipelined: [O(√n + D)]
+    rounds), find the node [w] farthest from [S], BFS from [w], and
+    output [max(max_{s∈S} ecc(s), ecc(w))].
+
+    The estimate never exceeds [D] (it is a true eccentricity) and is
+    at least [⌊2D/3⌋] w.h.p. — so it is a 3/2-approximation from below.
+    Weights are ignored (the problem is unweighted; Theorem 1.2 is
+    exactly about this row {e not} extending to weights). *)
+
+type output = {
+  estimate : int;
+  exact : int;
+  ratio : float;  (** [exact / estimate ∈ [1, 3/2]] w.h.p. *)
+  within_three_halves : bool;
+  sample_size : int;
+  witness : int;  (** The far node [w]. *)
+  rounds : int;  (** Measured: pipelined BFS phase + selection + final BFS. *)
+}
+
+val diameter : Graphlib.Wgraph.t -> tree:Congest.Tree.t -> rng:Util.Rng.t -> output

@@ -1,0 +1,188 @@
+type 'm envelope = { src : int; msg : 'm }
+
+type 'm action = {
+  sends : (int * 'm) list;
+  wakes : int list;
+}
+
+let no_action = { sends = []; wakes = [] }
+let send sends = { sends; wakes = [] }
+let send_and_wake sends r = { sends; wakes = [ r ] }
+let wake r = { sends = []; wakes = [ r ] }
+let act ?(sends = []) ?(wakes = []) () = { sends; wakes }
+
+type ('s, 'm) protocol = {
+  name : string;
+  size_words : 'm -> int;
+  init : Node_view.t -> 's * 'm action;
+  on_round : Node_view.t -> round:int -> 's -> inbox:'m envelope list -> 's * 'm action;
+}
+
+type trace = {
+  rounds : int;
+  messages : int;
+  words : int;
+  max_edge_load : int;
+  congestion_violations : int;
+  activations : int;
+}
+
+let empty_trace =
+  { rounds = 0; messages = 0; words = 0; max_edge_load = 0; congestion_violations = 0;
+    activations = 0 }
+
+let add_traces a b =
+  {
+    rounds = a.rounds + b.rounds;
+    messages = a.messages + b.messages;
+    words = a.words + b.words;
+    max_edge_load = max a.max_edge_load b.max_edge_load;
+    congestion_violations = a.congestion_violations + b.congestion_violations;
+    activations = a.activations + b.activations;
+  }
+
+let pp_trace ppf t =
+  Format.fprintf ppf
+    "rounds=%d messages=%d words=%d max_edge_load=%d violations=%d activations=%d" t.rounds
+    t.messages t.words t.max_edge_load t.congestion_violations t.activations
+
+exception Round_limit_exceeded of string
+
+type 'm mailbox = { mutable inbox : 'm envelope list (* reversed during accumulation *) }
+
+let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
+  let n = Graphlib.Wgraph.n g in
+  let max_w = Graphlib.Wgraph.max_weight g in
+  let views =
+    Array.init n (fun id ->
+        { Node_view.id; n; max_w; neighbors = Graphlib.Wgraph.neighbors g id })
+  in
+  let boxes = Array.init n (fun _ -> { inbox = [] }) in
+  (* Wake-up calendar: round -> nodes (possibly with duplicates). *)
+  let wake_tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let schedule_wake ~now node rounds =
+    List.iter
+      (fun r ->
+        if r <= now then invalid_arg (proto.name ^ ": wake not in the future");
+        match Hashtbl.find_opt wake_tbl r with
+        | Some l -> l := node :: !l
+        | None -> Hashtbl.replace wake_tbl r (ref [ node ]))
+      rounds
+  in
+  (* Per-round per-directed-edge load, reset every round. *)
+  let load : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let messages = ref 0 and words = ref 0 in
+  let max_edge_load = ref 0 and violations = ref 0 in
+  let activations = ref 0 in
+  let last_send_round = ref (-1) in
+  let any_sends_this_round = ref false in
+  let deliver ~round src (dst, msg) =
+    if not (Node_view.is_neighbor views.(src) dst) then
+      invalid_arg (Printf.sprintf "%s: node %d sent to non-neighbor %d" proto.name src dst);
+    let sz = proto.size_words msg in
+    if sz < 1 then invalid_arg (proto.name ^ ": message size < 1 word");
+    incr messages;
+    words := !words + sz;
+    any_sends_this_round := true;
+    last_send_round := round;
+    let key = (src * n) + dst in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt load key) in
+    let cur' = cur + sz in
+    Hashtbl.replace load key cur';
+    if cur' > !max_edge_load then max_edge_load := cur';
+    if cur' > bandwidth && cur <= bandwidth then incr violations;
+    (match on_message with Some f -> f ~round ~src ~dst ~words:sz | None -> ());
+    boxes.(dst).inbox <- { src; msg } :: boxes.(dst).inbox
+  in
+  if n = 0 then invalid_arg "Engine.run: empty graph";
+  (* Round 0: init everyone (in id order). *)
+  Hashtbl.reset load;
+  any_sends_this_round := false;
+  let apply_init id (s, act) =
+    incr activations;
+    List.iter (deliver ~round:0 id) act.sends;
+    schedule_wake ~now:0 id act.wakes;
+    s
+  in
+  let states =
+    let s0 = apply_init 0 (proto.init views.(0)) in
+    let states = Array.make n s0 in
+    for id = 1 to n - 1 do
+      states.(id) <- apply_init id (proto.init views.(id))
+    done;
+    states
+  in
+  (* Nodes whose inbox was filled this round become active next round. *)
+  let next_active_from_inboxes () =
+    let acc = ref [] in
+    for id = n - 1 downto 0 do
+      if boxes.(id).inbox <> [] then acc := id :: !acc
+    done;
+    !acc
+  in
+  let round = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* Decide the next round with activity. *)
+    let msg_round = if !any_sends_this_round then Some (!round + 1) else None in
+    let wake_round =
+      Hashtbl.fold
+        (fun r _ acc ->
+          if r > !round then match acc with Some a -> Some (min a r) | None -> Some r else acc)
+        wake_tbl None
+    in
+    let next_round =
+      match (msg_round, wake_round) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (min a b)
+    in
+    match next_round with
+    | None -> continue := false
+    | Some r ->
+      if r > max_rounds then raise (Round_limit_exceeded proto.name);
+      (* Collect the active set: inbox recipients plus due wake-ups. *)
+      let from_inbox = if r = !round + 1 then next_active_from_inboxes () else [] in
+      (* If we fast-forwarded past round+1, inboxes must be empty. *)
+      let from_wake =
+        match Hashtbl.find_opt wake_tbl r with
+        | Some l ->
+          Hashtbl.remove wake_tbl r;
+          List.sort_uniq compare !l
+        | None -> []
+      in
+      let active = List.sort_uniq compare (from_inbox @ from_wake) in
+      (* Snapshot and clear inboxes before running handlers so that
+         messages sent in round r arrive in round r+1. *)
+      let snapshots =
+        List.map
+          (fun id ->
+            let inbox = List.rev boxes.(id).inbox in
+            boxes.(id).inbox <- [];
+            (id, List.sort (fun a b -> compare a.src b.src) inbox))
+          active
+      in
+      round := r;
+      Hashtbl.reset load;
+      any_sends_this_round := false;
+      List.iter
+        (fun (id, inbox) ->
+          incr activations;
+          let s', act = proto.on_round views.(id) ~round:r states.(id) ~inbox in
+          states.(id) <- s';
+          List.iter (deliver ~round:r id) act.sends;
+          schedule_wake ~now:r id act.wakes)
+        snapshots
+  done;
+  let trace =
+    {
+      rounds = !last_send_round + 1;
+      messages = !messages;
+      words = !words;
+      max_edge_load = !max_edge_load;
+      congestion_violations = !violations;
+      activations = !activations;
+    }
+  in
+  (states, trace)

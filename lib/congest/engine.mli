@@ -1,0 +1,74 @@
+(** Synchronous CONGEST execution engine.
+
+    Time advances in rounds. In round [r] every *active* node — one
+    with a non-empty inbox (messages sent in round [r-1]) or a due
+    wake-up — runs its handler, which may send messages to neighbors
+    (delivered at round [r+1]) and schedule a future wake-up. The
+    engine is event-driven: rounds in which nothing happens are skipped
+    in O(1), so simulated round counts are decoupled from wall time.
+
+    Bandwidth is accounted per directed edge per round in words
+    (1 word = Θ(log n) bits, the CONGEST bandwidth [B]). Overloads are
+    recorded in the trace rather than enforced; tests assert that the
+    protocols stay within their claimed budgets. *)
+
+type 'm envelope = { src : int; msg : 'm }
+
+type 'm action = {
+  sends : (int * 'm) list;  (** [(neighbor, message)] pairs. *)
+  wakes : int list;  (** Future rounds to be re-activated at; each must
+                         be strictly in the future. *)
+}
+
+val no_action : 'm action
+val send : (int * 'm) list -> 'm action
+val send_and_wake : (int * 'm) list -> int -> 'm action
+val wake : int -> 'm action
+val act : ?sends:(int * 'm) list -> ?wakes:int list -> unit -> 'm action
+
+type ('s, 'm) protocol = {
+  name : string;
+  size_words : 'm -> int;
+      (** Size of a message in CONGEST words; must be [>= 1]. *)
+  init : Node_view.t -> 's * 'm action;
+      (** Runs at round 0 for every node. *)
+  on_round : Node_view.t -> round:int -> 's -> inbox:'m envelope list -> 's * 'm action;
+      (** Runs whenever the node is active; [inbox] is sorted by
+          sender id. *)
+}
+
+type trace = {
+  rounds : int;
+      (** Communication rounds consumed: 1 + the last round in which a
+          message was sent (0 for purely local protocols). *)
+  messages : int;  (** Total messages sent. *)
+  words : int;  (** Total words sent. *)
+  max_edge_load : int;
+      (** Max words crossing one directed edge in one round. *)
+  congestion_violations : int;
+      (** Directed-edge-rounds whose load exceeded the bandwidth. *)
+  activations : int;  (** Total handler invocations (simulation work). *)
+}
+
+val empty_trace : trace
+
+val add_traces : trace -> trace -> trace
+(** Sequential composition: rounds add, loads take the max. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+
+exception Round_limit_exceeded of string
+
+val run :
+  ?bandwidth:int ->
+  ?max_rounds:int ->
+  ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
+  Graphlib.Wgraph.t ->
+  ('s, 'm) protocol ->
+  's array * trace
+(** Execute until quiescence (no pending messages or wake-ups).
+    [bandwidth] defaults to 1 word/edge/round; [max_rounds] (default
+    [1_000_000]) guards against non-terminating protocols by raising
+    {!Round_limit_exceeded}. Nodes are processed in increasing id
+    order within a round; messages to non-neighbors raise
+    [Invalid_argument]. *)

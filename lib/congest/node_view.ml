@@ -1,0 +1,15 @@
+type t = {
+  id : int;
+  n : int;
+  max_w : int;
+  neighbors : (int * int) array;
+}
+
+let degree t = Array.length t.neighbors
+
+let is_neighbor t v = Array.exists (fun (u, _) -> u = v) t.neighbors
+
+let edge_weight t v =
+  let found = ref None in
+  Array.iter (fun (u, w) -> if u = v then found := Some w) t.neighbors;
+  !found

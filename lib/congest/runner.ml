@@ -1,0 +1,34 @@
+type t = { mutable entries : (string * Engine.trace) list (* reversed *) }
+
+let create () = { entries = [] }
+
+let record t name trace = t.entries <- (name, trace) :: t.entries
+
+let run_phase t name (value, trace) =
+  record t name trace;
+  value
+
+let phases t =
+  let merged = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, trace) ->
+      match Hashtbl.find_opt merged name with
+      | Some acc -> Hashtbl.replace merged name (Engine.add_traces acc trace)
+      | None ->
+        Hashtbl.replace merged name trace;
+        order := name :: !order)
+    (List.rev t.entries);
+  List.rev_map (fun name -> (name, Hashtbl.find merged name)) !order
+
+let total t =
+  List.fold_left (fun acc (_, tr) -> Engine.add_traces acc tr) Engine.empty_trace t.entries
+
+let rounds t = (total t).Engine.rounds
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, tr) -> Format.fprintf ppf "%-28s %a@," name Engine.pp_trace tr)
+    (phases t);
+  Format.fprintf ppf "%-28s %a@]" "TOTAL" Engine.pp_trace (total t)

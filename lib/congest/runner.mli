@@ -1,0 +1,23 @@
+(** Phase accounting for multi-phase algorithms.
+
+    The paper's algorithms (like Nanongkai's) are sequences of
+    protocols whose phase boundaries depend only on publicly known
+    parameters. The runner records each phase's measured trace and
+    reports the summed round complexity with a per-phase breakdown. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> Engine.trace -> unit
+(** Append a phase. Phases with the same name accumulate. *)
+
+val run_phase : t -> string -> ('a * Engine.trace) -> 'a
+(** Convenience: record the trace, return the value. *)
+
+val rounds : t -> int
+val total : t -> Engine.trace
+val phases : t -> (string * Engine.trace) list
+(** In execution order (same-name phases merged at first position). *)
+
+val pp : Format.formatter -> t -> unit

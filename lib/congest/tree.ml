@@ -1,0 +1,250 @@
+type t = {
+  root : int;
+  parent : int array;
+  children : int array array;
+  level : int array;
+  depth : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* BFS tree construction by flooding.                                  *)
+(* ------------------------------------------------------------------ *)
+
+type build_msg = Level of int | Child
+
+type build_state = {
+  b_parent : int;
+  b_level : int;
+  b_children : int list;
+}
+
+let build_protocol ~root : (build_state, build_msg) Engine.protocol =
+  {
+    name = "bfs-tree";
+    size_words = (fun _ -> 1);
+    init =
+      (fun view ->
+        if view.Node_view.id = root then
+          ( { b_parent = -1; b_level = 0; b_children = [] },
+            Engine.send
+              (Array.to_list (Array.map (fun (v, _) -> (v, Level 0)) view.neighbors)) )
+        else ({ b_parent = -1; b_level = -1; b_children = [] }, Engine.no_action));
+    on_round =
+      (fun view ~round:_ s ~inbox ->
+        (* Collect child claims (can arrive any time after we joined). *)
+        let s =
+          List.fold_left
+            (fun s { Engine.src; msg } ->
+              match msg with
+              | Child -> { s with b_children = src :: s.b_children }
+              | Level _ -> s)
+            s inbox
+        in
+        if s.b_level >= 0 || view.Node_view.id = root then (s, Engine.no_action)
+        else begin
+          (* First Level message(s): adopt the smallest-id sender. *)
+          let levels =
+            List.filter_map
+              (fun { Engine.src; msg } ->
+                match msg with Level l -> Some (src, l) | Child -> None)
+              inbox
+          in
+          match levels with
+          | [] -> (s, Engine.no_action)
+          | (src0, l0) :: _ ->
+            let parent, l =
+              List.fold_left
+                (fun (bs, bl) (src, l) -> if l < bl || (l = bl && src < bs) then (src, l) else (bs, bl))
+                (src0, l0) levels
+            in
+            let my_level = l + 1 in
+            let msgs =
+              (parent, Child)
+              :: List.filter_map
+                   (fun (v, _) -> if v = parent then None else Some (v, Level my_level))
+                   (Array.to_list view.neighbors)
+            in
+            ({ b_parent = parent; b_level = my_level; b_children = s.b_children }, Engine.send msgs)
+        end);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Convergecast.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'a cc_state = {
+  cc_acc : 'a;
+  cc_waiting : int; (* children not yet heard from *)
+  cc_sent : bool;
+}
+
+let convergecast_protocol tree ~values ~combine ~size_words : ('a cc_state, 'a) Engine.protocol =
+  {
+    name = "convergecast";
+    size_words;
+    init =
+      (fun view ->
+        let me = view.Node_view.id in
+        let waiting = Array.length tree.children.(me) in
+        let s = { cc_acc = values.(me); cc_waiting = waiting; cc_sent = false } in
+        if waiting = 0 && me <> tree.root then
+          ({ s with cc_sent = true }, Engine.send [ (tree.parent.(me), s.cc_acc) ])
+        else (s, Engine.no_action));
+    on_round =
+      (fun view ~round:_ s ~inbox ->
+        let me = view.Node_view.id in
+        let s =
+          List.fold_left
+            (fun s { Engine.msg; _ } ->
+              { s with cc_acc = combine s.cc_acc msg; cc_waiting = s.cc_waiting - 1 })
+            s inbox
+        in
+        if s.cc_waiting = 0 && (not s.cc_sent) && me <> tree.root then
+          ({ s with cc_sent = true }, Engine.send [ (tree.parent.(me), s.cc_acc) ])
+        else (s, Engine.no_action));
+  }
+
+let convergecast g tree ~values ~combine ~size_words =
+  let states, trace = Engine.run g (convergecast_protocol tree ~values ~combine ~size_words) in
+  (states.(tree.root).cc_acc, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined broadcast of the root's token list.                       *)
+(* ------------------------------------------------------------------ *)
+
+type 'tok bc_state = {
+  bc_received : 'tok list; (* reversed arrival order *)
+  bc_queue : 'tok list; (* still to forward, in order *)
+}
+
+let broadcast_protocol tree ~tokens ~size_words : ('tok bc_state, 'tok) Engine.protocol =
+  let forward view s ~round =
+    let me = view.Node_view.id in
+    match s.bc_queue with
+    | [] -> (s, Engine.no_action)
+    | tok :: rest ->
+      let sends = Array.to_list (Array.map (fun c -> (c, tok)) tree.children.(me)) in
+      let act =
+        if rest = [] then Engine.send sends else Engine.send_and_wake sends (round + 1)
+      in
+      ({ s with bc_queue = rest }, act)
+  in
+  {
+    name = "broadcast-tokens";
+    size_words;
+    init =
+      (fun view ->
+        if view.Node_view.id = tree.root then
+          forward view { bc_received = List.rev tokens; bc_queue = tokens } ~round:0
+        else ({ bc_received = []; bc_queue = [] }, Engine.no_action));
+    on_round =
+      (fun view ~round s ~inbox ->
+        let arrivals = List.map (fun { Engine.msg; _ } -> msg) inbox in
+        let s =
+          {
+            bc_received = List.rev_append arrivals s.bc_received;
+            bc_queue = s.bc_queue @ arrivals;
+          }
+        in
+        forward view s ~round);
+  }
+
+let broadcast_tokens g tree ~tokens ~size_words =
+  let states, trace = Engine.run g (broadcast_protocol tree ~tokens ~size_words) in
+  (Array.map (fun s -> List.rev s.bc_received) states, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined upcast of distinct items.                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Upcast = struct
+  type 'tok state = {
+    seen : 'tok list; (* sorted, deduplicated *)
+    unsent : 'tok list; (* sorted: still to push to parent *)
+  }
+
+  let rec insert compare x = function
+    | [] -> [ x ]
+    | y :: rest as l ->
+      let c = compare x y in
+      if c < 0 then x :: l else if c = 0 then l else y :: insert compare x rest
+
+  let mem compare x l = List.exists (fun y -> compare x y = 0) l
+end
+
+let upcast_protocol tree ~items ~compare ~size_words :
+    ('tok Upcast.state, 'tok) Engine.protocol =
+  let open Upcast in
+  let push view s ~round =
+    let me = view.Node_view.id in
+    if me = tree.root then (s, Engine.no_action)
+    else
+      match s.unsent with
+      | [] -> (s, Engine.no_action)
+      | tok :: rest ->
+        let act =
+          if rest = [] then Engine.send [ (tree.parent.(me), tok) ]
+          else Engine.send_and_wake [ (tree.parent.(me), tok) ] (round + 1)
+        in
+        ({ s with unsent = rest }, act)
+  in
+  {
+    name = "upcast";
+    size_words;
+    init =
+      (fun view ->
+        let mine = List.sort_uniq compare items.(view.Node_view.id) in
+        push view { seen = mine; unsent = mine } ~round:0);
+    on_round =
+      (fun view ~round s ~inbox ->
+        let s =
+          List.fold_left
+            (fun s { Engine.msg; _ } ->
+              if mem compare msg s.seen then s
+              else
+                {
+                  seen = insert compare msg s.seen;
+                  unsent = insert compare msg s.unsent;
+                })
+            s inbox
+        in
+        push view s ~round);
+  }
+
+let upcast g tree ~items ~compare ~size_words =
+  let states, trace = Engine.run g (upcast_protocol tree ~items ~compare ~size_words) in
+  (states.(tree.root).Upcast.seen, trace)
+
+(* ------------------------------------------------------------------ *)
+(* Tree construction driver.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let build g ~root =
+  if not (Graphlib.Wgraph.is_connected g) then invalid_arg "Tree.build: disconnected graph";
+  let states, trace1 = Engine.run g (build_protocol ~root) in
+  let n = Graphlib.Wgraph.n g in
+  let parent = Array.make n (-1) in
+  let level = Array.make n 0 in
+  let children = Array.make n [||] in
+  Array.iteri
+    (fun id s ->
+      parent.(id) <- s.b_parent;
+      level.(id) <- (if id = root then 0 else s.b_level);
+      children.(id) <- Array.of_list (List.sort compare s.b_children))
+    states;
+  let provisional = { root; parent; children; level; depth = 0 } in
+  (* Nodes learn the depth: convergecast of max level, then broadcast.
+     Both are honest protocols whose rounds we add to the trace. *)
+  let depth, trace2 =
+    convergecast g provisional ~values:(Array.copy level) ~combine:max ~size_words:(fun _ -> 1)
+  in
+  let _, trace3 =
+    broadcast_tokens g provisional ~tokens:[ depth ] ~size_words:(fun _ -> 1)
+  in
+  let trace = Engine.add_traces trace1 (Engine.add_traces trace2 trace3) in
+  ({ root; parent; children; level; depth }, trace)
+
+let gather_broadcast g tree ~items ~compare ~size_words =
+  let collected, t1 = upcast g tree ~items ~compare ~size_words in
+  let _, t2 = broadcast_tokens g tree ~tokens:collected ~size_words in
+  (collected, Engine.add_traces t1 t2)

@@ -1,0 +1,294 @@
+type objective = Diameter | Radius
+
+type oracle_mode = Distributed_touched | Fully_distributed | Centralized_calibrated
+
+type config = {
+  eps_override : float option;
+  num_sets : int option;
+  delta : float;
+  c : float;
+  mode : oracle_mode;
+  leader : int;
+}
+
+let default_config =
+  {
+    eps_override = Some 0.5;
+    num_sets = None;
+    delta = 0.1;
+    c = 3.0;
+    mode = Distributed_touched;
+    leader = 0;
+  }
+
+type result = {
+  objective : objective;
+  estimate : float;
+  exact : int;
+  ratio : float;
+  within_guarantee : bool;
+  params : Params.t;
+  d_unweighted : int;
+  rounds : int;
+  breakdown : (string * int) list;
+  outer_iterations : int;
+  outer_measurements : int;
+  inner_iterations_total : int;
+  t_setup_outer : int;
+  t_eval_bound : int;
+  touched_sets : int list;
+  good_scale : bool;
+  congestion_ok : bool;
+  value_discrepancy : float;
+  best_set : int;
+  best_source : int option;
+}
+
+let inner_objective = function Diameter -> Inner.Maximize | Radius -> Inner.Minimize
+
+let ground_truth g = function
+  | Diameter -> Graphlib.Apsp.weighted_diameter g
+  | Radius -> Graphlib.Apsp.weighted_radius g
+
+let extremal_node g = function
+  | Diameter ->
+    let ecc = Graphlib.Apsp.eccentricities g in
+    let best = ref 0 in
+    Array.iteri (fun i e -> if e > ecc.(!best) then best := i) ecc;
+    !best
+  | Radius -> Graphlib.Apsp.center g
+
+type shared = {
+  sh_g : Graphlib.Wgraph.t;
+  sh_config : config;
+  sh_tree : Congest.Tree.t;
+  sh_tree_trace : Congest.Engine.trace;
+  sh_params : Params.t;
+  sh_sets : Sets.t;
+  sh_ctx : Nanongkai.Approx.ctx;
+  sh_prepared : (int, Inner.prepared option) Hashtbl.t;
+      (* Objective-independent per-set pipelines (Initialization +
+         per-source values) — shared between the diameter and radius
+         searches by [run_both]. *)
+}
+
+let make_shared ~config g ~rng =
+  let n = Graphlib.Wgraph.n g in
+  if n < 2 then invalid_arg "Algorithm.run: need n >= 2";
+  if not (Graphlib.Wgraph.is_connected g) then invalid_arg "Algorithm.run: disconnected graph";
+  (* The network's own diameter estimate: the BFS-tree depth gives
+     depth <= D_G <= 2*depth, known to all after Tree.build. *)
+  let tree, tree_trace = Congest.Tree.build g ~root:config.leader in
+  let d_hat = max 1 (2 * tree.Congest.Tree.depth) in
+  let params =
+    Params.of_graph_params ?eps_override:config.eps_override ?num_sets:config.num_sets ~n ~d_hat
+      ()
+  in
+  (* Initialization: local sampling, zero rounds. Resample in the rare
+     all-empty case (tiny n only). *)
+  let rec sample_sets attempts =
+    let sets = Sets.sample ~rng ~n ~params in
+    if Array.exists (fun s -> s <> []) sets.Sets.sets then sets
+    else if attempts <= 0 then invalid_arg "Algorithm.run: could not sample non-empty sets"
+    else sample_sets (attempts - 1)
+  in
+  let sets = sample_sets 20 in
+  let ctx =
+    {
+      Nanongkai.Approx.g;
+      tree;
+      params = Params.reweight_params params;
+      k = params.Params.k;
+      rng = Util.Rng.split rng;
+    }
+  in
+  {
+    sh_g = g;
+    sh_config = config;
+    sh_tree = tree;
+    sh_tree_trace = tree_trace;
+    sh_params = params;
+    sh_sets = sets;
+    sh_ctx = ctx;
+    sh_prepared = Hashtbl.create 16;
+  }
+
+let run_objective shared objective ~rng =
+  let g = shared.sh_g in
+  let config = shared.sh_config in
+  let exact = Graphlib.Dist.to_int_exn (ground_truth g objective) in
+  let d_unweighted = Graphlib.Bfs.diameter (Graphlib.Wgraph.with_unit_weights g) in
+  let tree = shared.sh_tree and tree_trace = shared.sh_tree_trace in
+  let params = shared.sh_params in
+  let rw = Params.reweight_params params in
+  let inner_obj = inner_objective objective in
+  let sets = shared.sh_sets in
+  let m = Array.length sets.Sets.sets in
+  let ctx = shared.sh_ctx in
+  (* Values f(i) for the amplification masses. *)
+  let discrepancy = ref 0.0 in
+  let prepared i =
+    match Hashtbl.find_opt shared.sh_prepared i with
+    | Some p -> p
+    | None ->
+      let p = Inner.prepare ~ctx ~s:sets.Sets.sets.(i) in
+      Hashtbl.replace shared.sh_prepared i p;
+      p
+  in
+  let eval_dist i =
+    match prepared i with
+    | None -> None
+    | Some prep ->
+      Some
+        (Inner.search prep ~objective:inner_obj ~delta:(config.delta /. 2.0) ~c:config.c
+           ~rng:ctx.Nanongkai.Approx.rng)
+  in
+  let values =
+    match config.mode with
+    | Fully_distributed ->
+      Array.init m (fun i ->
+          match eval_dist i with
+          | Some e -> e.Inner.value
+          | None -> Inner.worst_value inner_obj)
+    | Distributed_touched | Centralized_calibrated ->
+      Array.init m (fun i ->
+          match
+            Inner.eval_centralized g ~params:rw ~k:params.Params.k ~objective:inner_obj
+              ~s:sets.Sets.sets.(i)
+          with
+          | Some v -> v
+          | None -> Inner.worst_value inner_obj)
+  in
+  (* Outer quantum search (Lemma 3.1): uniform amplitudes over sets,
+     promise mass ρ = Θ(r/n) from Good-Scale. *)
+  let rho = Float.max (sets.Sets.rate /. 2.0) (1.0 /. float_of_int m) in
+  let weights = Array.make m 1.0 in
+  let zero_cost = { Dqo.Cost.setup_rounds = 0; eval_rounds = 0 } in
+  let report =
+    match objective with
+    | Diameter ->
+      Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho ~delta:(config.delta /. 2.0)
+        ~c:config.c ~cost:zero_cost ()
+    | Radius ->
+      Dqo.Optimize.minimize ~rng ~weights ~values ~compare ~rho ~delta:(config.delta /. 2.0)
+        ~c:config.c ~cost:zero_cost ()
+  in
+  (* Measured outer Setup: broadcasting the index |i⟩ to all nodes. *)
+  let _, setup_trace =
+    Congest.Tree.broadcast_tokens g tree ~tokens:[ report.Dqo.Optimize.best_idx ]
+      ~size_words:(fun _ -> 1)
+  in
+  let t_setup_outer = setup_trace.Congest.Engine.rounds in
+  (* Real pipeline runs for the candidates the search measured. *)
+  let calibration_targets =
+    match config.mode with
+    | Fully_distributed | Distributed_touched ->
+      List.filter (fun i -> sets.Sets.sets.(i) <> []) report.Dqo.Optimize.touched
+    | Centralized_calibrated -> (
+      match List.filter (fun i -> sets.Sets.sets.(i) <> []) report.Dqo.Optimize.touched with
+      | [] -> []
+      | i :: _ -> [ i ])
+  in
+  let measured =
+    List.filter_map
+      (fun i ->
+        match eval_dist i with
+        | Some e ->
+          discrepancy := Float.max !discrepancy (Float.abs (e.Inner.value -. values.(i)));
+          Some e
+        | None -> None)
+      calibration_targets
+  in
+  let t_eval_bound =
+    List.fold_left (fun acc (e : Inner.eval) -> max acc e.Inner.total_rounds) 0 measured
+  in
+  let inner_iterations_total =
+    List.fold_left (fun acc (e : Inner.eval) -> acc + e.Inner.inner_iterations) 0 measured
+  in
+  let congestion_ok = List.for_all (fun (e : Inner.eval) -> e.Inner.congestion_ok) measured in
+  let ledger = report.Dqo.Optimize.ledger in
+  let outer_cost = { Dqo.Cost.setup_rounds = t_setup_outer; eval_rounds = t_eval_bound } in
+  let search_rounds =
+    (ledger.Dqo.Cost.grover_iterations * 2
+     * (outer_cost.Dqo.Cost.setup_rounds + outer_cost.Dqo.Cost.eval_rounds))
+    + (ledger.Dqo.Cost.measurements
+       * (outer_cost.Dqo.Cost.setup_rounds + outer_cost.Dqo.Cost.eval_rounds))
+  in
+  (* The model requires every node to output the answer: the leader
+     broadcasts the final estimate down the tree (O(D) rounds,
+     measured). *)
+  let _, answer_trace =
+    Congest.Tree.broadcast_tokens g tree ~tokens:[ report.Dqo.Optimize.best_idx ]
+      ~size_words:(fun _ -> 1)
+  in
+  let rounds =
+    tree_trace.Congest.Engine.rounds + search_rounds + answer_trace.Congest.Engine.rounds
+  in
+  let breakdown =
+    [
+      ("bfs-tree", tree_trace.Congest.Engine.rounds);
+      ("outer-setup-per-call", t_setup_outer);
+      ("eval-bound-per-call (T0+√r(T1+T2))", t_eval_bound);
+      ("outer-search", search_rounds);
+      ("answer-broadcast", answer_trace.Congest.Engine.rounds);
+    ]
+  in
+  let estimate = report.Dqo.Optimize.best_value in
+  let vstar = extremal_node g objective in
+  let scale = Sets.check_good_scale sets ~vstar in
+  let within_guarantee =
+    let ex = float_of_int exact in
+    let ub = ((1.0 +. params.Params.eps) ** 2.0) *. ex in
+    estimate >= ex -. 1e-6 && estimate <= ub +. 1e-6
+  in
+  let best_source =
+    match eval_dist report.Dqo.Optimize.best_idx with
+    | Some e -> Some e.Inner.best_s
+    | None -> None
+    | exception _ -> None
+  in
+  {
+    objective;
+    estimate;
+    exact;
+    ratio = (if exact = 0 then Float.nan else estimate /. float_of_int exact);
+    within_guarantee;
+    params;
+    d_unweighted;
+    rounds;
+    breakdown;
+    outer_iterations = ledger.Dqo.Cost.grover_iterations;
+    outer_measurements = ledger.Dqo.Cost.measurements;
+    inner_iterations_total;
+    t_setup_outer;
+    t_eval_bound;
+    touched_sets = report.Dqo.Optimize.touched;
+    good_scale = scale.Sets.ok;
+    congestion_ok;
+    value_discrepancy = !discrepancy;
+    best_set = report.Dqo.Optimize.best_idx;
+    best_source;
+  }
+
+let run ?(config = default_config) g objective ~rng =
+  let shared = make_shared ~config g ~rng in
+  run_objective shared objective ~rng
+
+let run_both ?(config = default_config) g ~rng =
+  let shared = make_shared ~config g ~rng in
+  let d = run_objective shared Diameter ~rng in
+  let r = run_objective shared Radius ~rng in
+  (* The BFS tree is built once for both searches. *)
+  let combined = d.rounds + r.rounds - shared.sh_tree_trace.Congest.Engine.rounds in
+  (d, r, combined)
+
+let pp_result ppf r =
+  let obj = match r.objective with Diameter -> "diameter" | Radius -> "radius" in
+  Format.fprintf ppf
+    "@[<v>%s: estimate=%.2f exact=%d ratio=%.4f within_guarantee=%b@,\
+     params: %a@,\
+     rounds=%d (outer iters=%d meas=%d, T_setup=%d T_eval<=%d)@,\
+     good_scale=%b congestion_ok=%b discrepancy=%.2e@]"
+    obj r.estimate r.exact r.ratio r.within_guarantee Params.pp r.params r.rounds
+    r.outer_iterations r.outer_measurements r.t_setup_outer r.t_eval_bound r.good_scale
+    r.congestion_ok r.value_discrepancy

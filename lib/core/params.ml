@@ -1,0 +1,77 @@
+type t = {
+  n : int;
+  d_hat : int;
+  eps : float;
+  r : float;
+  ell : int;
+  k : int;
+  num_sets : int;
+}
+
+let of_graph_params ?eps_override ?num_sets ~n ~d_hat () =
+  if n < 1 then invalid_arg "Params.of_graph_params: n < 1";
+  if d_hat < 1 then invalid_arg "Params.of_graph_params: d_hat < 1";
+  let fn = float_of_int n in
+  let fd = float_of_int d_hat in
+  let log_n = Float.max 1.0 (Util.Int_math.log2f fn) in
+  let eps =
+    match eps_override with
+    | Some e ->
+      if e <= 0.0 || e > 1.0 then invalid_arg "Params.of_graph_params: eps out of (0,1]";
+      e
+    | None -> 1.0 /. log_n
+  in
+  let r = Util.Int_math.fclamp ~lo:1.0 ~hi:fn ((fn ** 0.4) *. (fd ** -0.2)) in
+  let ell =
+    Util.Int_math.clamp ~lo:1 ~hi:n (int_of_float (ceil (fn *. log_n /. r)))
+  in
+  let k = Util.Int_math.clamp ~lo:1 ~hi:(int_of_float (ceil r)) (Util.Int_math.isqrt d_hat) in
+  let num_sets = match num_sets with Some m -> max 1 m | None -> n in
+  { n; d_hat; eps; r; ell; k; num_sets }
+
+let reweight_params t = { Graphlib.Reweight.ell = t.ell; eps = t.eps }
+
+let sample_rate t = Util.Int_math.fclamp ~lo:0.0 ~hi:1.0 (t.r /. float_of_int t.n)
+
+let theorem_1_1_rounds ~n ~d =
+  let fn = float_of_int n and fd = float_of_int d in
+  Float.min ((fn ** 0.9) *. (fd ** 0.3)) fn
+
+let lemma_3_5_terms t =
+  let fn = float_of_int t.n and fd = float_of_int t.d_hat in
+  let fk = float_of_int t.k in
+  let t0 = fd +. (fn /. (t.eps *. t.r)) +. (t.r *. fk) in
+  let t1 = (t.r /. (t.eps *. fk) *. fd) +. t.r in
+  let t2 = fd in
+  (t0, t1, t2)
+
+let lemma_3_5_terms_with_logs t ~max_w =
+  let fd = float_of_int t.d_hat in
+  let lambda = float_of_int (Util.Int_math.ilog2_ceil (max 2 t.n)) in
+  let scales = float_of_int (Graphlib.Reweight.num_scales ~n:t.n ~max_w ~eps:t.eps) in
+  let phase_len = ((1.0 +. (2.0 /. t.eps)) *. float_of_int t.ell) +. 2.0 in
+  let t0 = (scales *. phase_len *. lambda) +. fd +. (t.r *. float_of_int t.k) in
+  let b = Float.max 2.0 t.r in
+  let ell' = ceil (4.0 *. b /. float_of_int t.k) in
+  (* The overlay's weights are approximate distances <= ~ n*W, which
+     bounds its scale count. *)
+  let scales' =
+    Float.max 1.0
+      (Float.round
+         (Util.Int_math.log2f (2.0 *. b *. float_of_int t.n *. float_of_int max_w /. t.eps)))
+  in
+  let phase_len' = ((1.0 +. (2.0 /. t.eps)) *. ell') +. 2.0 in
+  let t1 = (scales' *. phase_len' *. (2.0 *. fd)) +. b in
+  (t0, t1, fd)
+
+let lemma_3_5_rounds t =
+  let t0, t1, t2 = lemma_3_5_terms t in
+  t0 +. (sqrt t.r *. (t1 +. t2))
+
+let total_rounds t =
+  let fn = float_of_int t.n and fd = float_of_int t.d_hat in
+  sqrt (fn /. t.r) *. (fd +. lemma_3_5_rounds t)
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d D̂=%d ε=%.4f r=%.2f ℓ=%d k=%d sets=%d" t.n t.d_hat t.eps t.r t.ell
+    t.k t.num_sets

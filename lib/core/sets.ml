@@ -1,0 +1,42 @@
+type t = {
+  sets : int list array;
+  rate : float;
+  expected_size : float;
+}
+
+let sample ~rng ~n ~params =
+  let rate = Params.sample_rate params in
+  let sets =
+    Array.init params.Params.num_sets (fun _ -> Util.Rng.subset_bernoulli rng ~n ~p:rate)
+  in
+  { sets; rate; expected_size = params.Params.r }
+
+type scale_report = {
+  sizes : int array;
+  min_size : int;
+  max_size : int;
+  vstar_memberships : int;
+  ok : bool;
+}
+
+let check_good_scale t ~vstar =
+  let sizes = Array.map List.length t.sets in
+  let min_size = Array.fold_left min max_int sizes in
+  let max_size = Array.fold_left max 0 sizes in
+  let beta =
+    Array.fold_left (fun acc s -> if List.mem vstar s then acc + 1 else acc) 0 t.sets
+  in
+  let c = 4.0 in
+  let r = t.expected_size in
+  let lo = int_of_float (floor (r /. c)) in
+  let hi = int_of_float (ceil (r *. c)) in
+  let ok =
+    min_size >= lo && max_size <= max hi 1
+    && beta >= max 1 (int_of_float (floor (float_of_int (Array.length t.sets) *. t.rate /. c)))
+  in
+  { sizes; min_size; max_size; vstar_memberships = beta; ok }
+
+let membership_sets t ~v =
+  let acc = ref [] in
+  Array.iteri (fun i s -> if List.mem v s then acc := i :: !acc) t.sets;
+  List.rev !acc

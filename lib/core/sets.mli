@@ -1,0 +1,36 @@
+(** The random vertex sets [S_1, …, S_m] and the paper's good events.
+
+    Each node joins each set independently with probability [r/n]
+    (a purely local coin flip, so Initialization is free — Theorem 1.1's
+    [T₀ = 0]). The algorithm's correctness rests on two events that
+    hold w.h.p. and that we *check* on every run:
+
+    - {b Good-Scale}: every [|S_i| = Θ(r)], and the extremal node [v*]
+      (max-eccentricity node for diameter, min- for radius) joins
+      [β = Θ(r)] of the sets.
+    - {b Good-Approximation}: for every [i], [s ∈ S_i], [v],
+      [d ≤ d̃_{G,w,i}(s,v) ≤ (1+ε)²d] — checked via
+      [Graphlib.Skeleton.check_good_approximation]. *)
+
+type t = {
+  sets : int list array;  (** [sets.(i)] = members of [S_{i+1}], sorted. *)
+  rate : float;
+  expected_size : float;  (** [r]. *)
+}
+
+val sample : rng:Util.Rng.t -> n:int -> params:Params.t -> t
+
+type scale_report = {
+  sizes : int array;
+  min_size : int;
+  max_size : int;
+  vstar_memberships : int;  (** [β]: sets containing [v*]. *)
+  ok : bool;
+      (** All sizes within [[r/c, c·r]] for [c = 4] and
+          [β >= max(1, r/c)] — a concrete instantiation of Θ(r). *)
+}
+
+val check_good_scale : t -> vstar:int -> scale_report
+
+val membership_sets : t -> v:int -> int list
+(** Indices [i] with [v ∈ S_i]. *)

@@ -1,0 +1,57 @@
+type t = { w : float array }
+
+let create weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Amplify.create: non-positive total weight";
+  Array.iter (fun x -> if x < 0.0 then invalid_arg "Amplify.create: negative weight") weights;
+  { w = Array.map (fun x -> x /. total) weights }
+
+let size t = Array.length t.w
+
+let weight t i = t.w.(i)
+
+let mass t ~marked =
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> if marked i then acc := !acc +. w) t.w;
+  !acc
+
+let success_probability t ~marked ~iterations =
+  Qsim.Grover.success_probability_closed_form ~rho:(mass t ~marked) ~iterations
+
+let sample_conditional t ~rng ~pred ~total =
+  (* Sample ∝ w restricted to [pred]; [total] is the predicate's mass. *)
+  let r = Util.Rng.float rng total in
+  let acc = ref 0.0 in
+  let result = ref (-1) in
+  (try
+     Array.iteri
+       (fun i w ->
+         if pred i then begin
+           acc := !acc +. w;
+           if !acc >= r then begin
+             result := i;
+             raise Exit
+           end
+         end)
+       t.w
+   with Exit -> ());
+  if !result >= 0 then !result
+  else begin
+    (* Rounding fallback: last predicate-satisfying index. *)
+    let last = ref (-1) in
+    Array.iteri (fun i _ -> if pred i then last := i) t.w;
+    if !last < 0 then invalid_arg "Amplify.sample_conditional: empty support";
+    !last
+  end
+
+let sample t ~rng = sample_conditional t ~rng ~pred:(fun _ -> true) ~total:1.0
+
+let measure_after t ~rng ~marked ~iterations =
+  let rho = mass t ~marked in
+  if rho <= 0.0 then sample t ~rng
+  else if rho >= 1.0 then sample_conditional t ~rng ~pred:marked ~total:rho
+  else begin
+    let p = Qsim.Grover.success_probability_closed_form ~rho ~iterations in
+    if Util.Rng.bernoulli rng ~p then sample_conditional t ~rng ~pred:marked ~total:rho
+    else sample_conditional t ~rng ~pred:(fun i -> not (marked i)) ~total:(1.0 -. rho)
+  end

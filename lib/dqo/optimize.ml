@@ -1,0 +1,68 @@
+type 'v report = {
+  best_idx : int;
+  best_value : 'v;
+  ledger : Cost.ledger;
+  touched : int list;
+  budget : int;
+}
+
+let budget_for ~rho ~delta ~c =
+  if rho <= 0.0 || rho > 1.0 then invalid_arg "Optimize.budget_for: rho";
+  if delta <= 0.0 || delta >= 1.0 then invalid_arg "Optimize.budget_for: delta";
+  int_of_float (ceil (c *. sqrt (log (exp 1.0 /. delta) /. rho)))
+
+let optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better =
+  let n = Array.length values in
+  if Array.length weights <> n then invalid_arg "Optimize: weights/values length mismatch";
+  if n = 0 then invalid_arg "Optimize: empty space";
+  let space = Amplify.create weights in
+  let budget = budget_for ~rho ~delta ~c in
+  let touched = ref [] in
+  let touch x = if not (List.mem x !touched) then touched := x :: !touched in
+  (* Opening move: measure the bare superposition and evaluate it. *)
+  let start = Amplify.sample space ~rng in
+  touch start;
+  let ledger = Cost.charge_measurement Cost.empty cost in
+  let rec loop best ledger m iterations_used meas_used =
+    (* The measurement cap breaks the j=0 stall when the marked set is
+       already empty (best is optimal) and the iteration budget cannot
+       be consumed. *)
+    if iterations_used >= budget || meas_used > (2 * budget) + 10 then (best, ledger)
+    else begin
+      let marked x = better values.(x) values.(best) in
+      let j = Util.Rng.int rng (max 1 (int_of_float (ceil m))) in
+      let j = min j (budget - iterations_used) in
+      let x = Amplify.measure_after space ~rng ~marked ~iterations:j in
+      let ledger = Cost.charge_iterations ledger cost j in
+      let ledger = Cost.charge_measurement ledger cost in
+      touch x;
+      let cap = 1.0 /. sqrt rho in
+      if marked x then loop x ledger 1.0 (iterations_used + j) (meas_used + 1)
+      else loop best ledger (Float.min (growth *. m) cap) (iterations_used + j) (meas_used + 1)
+    end
+  in
+  let best, ledger = loop start ledger 1.0 0 0 in
+  { best_idx = best; best_value = values.(best); ledger; touched = List.rev !touched; budget }
+
+let maximize ~rng ~weights ~values ~compare ~rho ~delta ?(c = 3.0) ?(growth = 1.2) ~cost () =
+  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better:(fun a b -> compare a b > 0)
+
+let minimize ~rng ~weights ~values ~compare ~rho ~delta ?(c = 3.0) ?(growth = 1.2) ~cost () =
+  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better:(fun a b -> compare a b < 0)
+
+let exhaustive ~values ~compare ~cost =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Optimize.exhaustive: empty space";
+  let best = ref 0 in
+  let ledger = ref Cost.empty in
+  for x = 0 to n - 1 do
+    ledger := Cost.charge_measurement !ledger cost;
+    if compare values.(x) values.(!best) > 0 then best := x
+  done;
+  {
+    best_idx = !best;
+    best_value = values.(!best);
+    ledger = !ledger;
+    touched = List.init n (fun i -> i);
+    budget = n;
+  }

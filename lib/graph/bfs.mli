@@ -1,0 +1,26 @@
+(** Unweighted breadth-first search.
+
+    These are the centralized reference algorithms for hop-counted
+    distances on the topology (ignoring weights): they define the
+    paper's unweighted diameter [D_G], the quantity that parametrizes
+    every round bound. *)
+
+val distances : Wgraph.t -> src:int -> Dist.t array
+(** Hop distances from [src]; [Dist.inf] for unreachable nodes. *)
+
+val eccentricity : Wgraph.t -> src:int -> Dist.t
+(** Max hop distance from [src]; [Dist.inf] if the graph is
+    disconnected. *)
+
+val diameter : Wgraph.t -> Dist.t
+(** The paper's [D_G]: max over all pairs of the hop distance
+    (weights ignored). [Dist.inf] if disconnected, 0 if [n <= 1]. *)
+
+val radius : Wgraph.t -> Dist.t
+
+val tree : Wgraph.t -> root:int -> int array
+(** BFS spanning tree: [parent.(v)] is the BFS parent of [v], [-1] for
+    the root and for unreachable nodes. *)
+
+val double_sweep_lower_bound : Wgraph.t -> rng:Util.Rng.t -> Dist.t
+(** Classic 2-sweep heuristic lower bound on [D_G] (exact on trees). *)

@@ -1,0 +1,52 @@
+type result = {
+  graph : Wgraph.t;
+  class_of : int array;
+  members : int list array;
+}
+
+let contract_unit_edges g =
+  let n = Wgraph.n g in
+  let uf = Util.Union_find.create (max 1 n) in
+  List.iter (fun { Wgraph.u; v; w } -> if w = 1 then Util.Union_find.union uf u v) (Wgraph.edges g);
+  (* Number classes by smallest original member. *)
+  let class_id = Hashtbl.create n in
+  let next = ref 0 in
+  let class_of = Array.make (max 1 n) 0 in
+  for v = 0 to n - 1 do
+    let root = Util.Union_find.find uf v in
+    let id =
+      match Hashtbl.find_opt class_id root with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace class_id root id;
+        id
+    in
+    class_of.(v) <- id
+  done;
+  let n' = !next in
+  let members = Array.make (max 1 n') [] in
+  for v = n - 1 downto 0 do
+    members.(class_of.(v)) <- v :: members.(class_of.(v))
+  done;
+  let edges =
+    List.filter_map
+      (fun { Wgraph.u; v; w } ->
+        let cu = class_of.(u) and cv = class_of.(v) in
+        if cu = cv then None else Some { Wgraph.u = cu; v = cv; w })
+      (Wgraph.edges g)
+  in
+  (* Wgraph.make already keeps the minimum weight among parallels. *)
+  { graph = Wgraph.make ~n:n' edges; class_of; members }
+
+let check_lemma_4_3 g =
+  let n = Wgraph.n g in
+  let { graph = g'; _ } = contract_unit_edges g in
+  let dg = Apsp.weighted_diameter g and dg' = Apsp.weighted_diameter g' in
+  let rg = Apsp.weighted_radius g and rg' = Apsp.weighted_radius g' in
+  let ok_pair big small =
+    if Dist.is_inf big then Dist.is_inf small || Dist.is_finite small (* disconnected stays loose *)
+    else Dist.compare small big <= 0 && big <= small + n
+  in
+  ok_pair dg dg' && ok_pair rg rg'

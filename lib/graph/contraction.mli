@@ -1,0 +1,22 @@
+(** Lemma 4.3: contraction of all weight-1 edges.
+
+    Merging the endpoints of every weight-1 edge changes the diameter
+    and radius by at most [n]:
+    [D_{G'} ≤ D_{G,w} ≤ D_{G'} + n] and likewise for [R]. The
+    lower-bound gadget sets its heavy weights to [n²] precisely so this
+    additive [n] is negligible. Parallel edges arising from the merge
+    keep the lowest weight; intra-class edges disappear. *)
+
+type result = {
+  graph : Wgraph.t;  (** The contracted graph [G']. *)
+  class_of : int array;
+      (** [class_of.(v)] = index of [v]'s node in [G'] (classes are
+          numbered by smallest original member, in increasing order). *)
+  members : int list array;  (** Original nodes merged into each class. *)
+}
+
+val contract_unit_edges : Wgraph.t -> result
+
+val check_lemma_4_3 : Wgraph.t -> bool
+(** Verify [D_{G'} ≤ D_{G,w} ≤ D_{G'} + n] and the radius counterpart
+    on a concrete graph (exact computation on both sides). *)

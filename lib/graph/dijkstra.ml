@@ -1,0 +1,74 @@
+let run_dijkstra g ~src ~parent =
+  let n = Wgraph.n g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.distances";
+  let dist = Array.make n Dist.inf in
+  let pq = Util.Pqueue.create ~n ~compare:Dist.compare in
+  dist.(src) <- 0;
+  Util.Pqueue.insert pq ~key:src ~prio:0;
+  let rec loop () =
+    match Util.Pqueue.pop_min pq with
+    | None -> ()
+    | Some (u, du) ->
+      if du = dist.(u) then
+        Array.iter
+          (fun (v, w) ->
+            let cand = Dist.add du w in
+            if Dist.compare cand dist.(v) < 0 then begin
+              dist.(v) <- cand;
+              (match parent with Some p -> p.(v) <- u | None -> ());
+              Util.Pqueue.insert_or_decrease pq ~key:v ~prio:cand
+            end)
+          (Wgraph.neighbors g u);
+      loop ()
+  in
+  loop ();
+  dist
+
+let distances g ~src = run_dijkstra g ~src ~parent:None
+
+let distances_bounded g ~src ~bound =
+  let dist = distances g ~src in
+  Array.map (fun d -> if Dist.is_finite d && d <= bound then d else Dist.inf) dist
+
+let bounded_hop_distances g ~src ~hops =
+  let n = Wgraph.n g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra.bounded_hop_distances";
+  if hops < 0 then invalid_arg "Dijkstra.bounded_hop_distances: negative hops";
+  (* d.(v) after iteration t = least length over paths of <= t edges. *)
+  let cur = Array.make n Dist.inf in
+  cur.(src) <- 0;
+  let next = Array.copy cur in
+  let changed = ref true in
+  let t = ref 0 in
+  while !changed && !t < hops do
+    changed := false;
+    Array.blit cur 0 next 0 n;
+    List.iter
+      (fun { Wgraph.u; v; w } ->
+        let cand_v = Dist.add cur.(u) w in
+        if Dist.compare cand_v next.(v) < 0 then begin
+          next.(v) <- cand_v;
+          changed := true
+        end;
+        let cand_u = Dist.add cur.(v) w in
+        if Dist.compare cand_u next.(u) < 0 then begin
+          next.(u) <- cand_u;
+          changed := true
+        end)
+      (Wgraph.edges g);
+    Array.blit next 0 cur 0 n;
+    incr t
+  done;
+  cur
+
+let path g ~src ~dst =
+  let n = Wgraph.n g in
+  let parent = Array.make n (-1) in
+  let dist = run_dijkstra g ~src ~parent:(Some parent) in
+  if Dist.is_inf dist.(dst) then None
+  else begin
+    let rec walk v acc = if v = src then src :: acc else walk parent.(v) (v :: acc) in
+    Some (walk dst [])
+  end
+
+let eccentricity g ~src = Array.fold_left max 0 (distances g ~src)

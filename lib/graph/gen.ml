@@ -1,0 +1,139 @@
+type weighting = Unit | Uniform of { max_w : int }
+
+let draw_weight weighting rng =
+  match weighting with
+  | Unit -> 1
+  | Uniform { max_w } ->
+    if max_w < 1 then invalid_arg "Gen: max_w < 1";
+    Util.Rng.int_in rng ~lo:1 ~hi:max_w
+
+let edge weighting rng u v = { Wgraph.u; v; w = draw_weight weighting rng }
+
+let path ~n ~weighting ~rng =
+  if n < 1 then invalid_arg "Gen.path";
+  Wgraph.make ~n (List.init (n - 1) (fun i -> edge weighting rng i (i + 1)))
+
+let cycle ~n ~weighting ~rng =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Wgraph.make ~n (List.init n (fun i -> edge weighting rng i ((i + 1) mod n)))
+
+let star ~n ~weighting ~rng =
+  if n < 1 then invalid_arg "Gen.star";
+  Wgraph.make ~n (List.init (n - 1) (fun i -> edge weighting rng 0 (i + 1)))
+
+let complete ~n ~weighting ~rng =
+  if n < 1 then invalid_arg "Gen.complete";
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := edge weighting rng u v :: !es
+    done
+  done;
+  Wgraph.make ~n !es
+
+let grid ~rows ~cols ~weighting ~rng =
+  if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := edge weighting rng (id r c) (id r (c + 1)) :: !es;
+      if r + 1 < rows then es := edge weighting rng (id r c) (id (r + 1) c) :: !es
+    done
+  done;
+  Wgraph.make ~n:(rows * cols) !es
+
+let random_tree ~n ~weighting ~rng =
+  if n < 1 then invalid_arg "Gen.random_tree";
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    let parent = Util.Rng.int rng v in
+    es := edge weighting rng parent v :: !es
+  done;
+  Wgraph.make ~n !es
+
+let gnp_connected ~n ~p ~weighting ~rng =
+  if n < 1 then invalid_arg "Gen.gnp_connected";
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Util.Rng.bernoulli rng ~p then es := edge weighting rng u v :: !es
+    done
+  done;
+  (* Stitch in a random spanning tree so the result is connected. *)
+  let perm = Array.init n (fun i -> i) in
+  Util.Rng.shuffle rng perm;
+  for i = 1 to n - 1 do
+    let parent = perm.(Util.Rng.int rng i) in
+    es := edge weighting rng parent perm.(i) :: !es
+  done;
+  Wgraph.make ~n !es
+
+let clique_edges weighting rng ~offset ~size acc =
+  let acc = ref acc in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      acc := edge weighting rng (offset + u) (offset + v) :: !acc
+    done
+  done;
+  !acc
+
+let cliques_chain ~closed ~cliques ~clique_size ~weighting ~rng =
+  if cliques < 1 || clique_size < 1 then invalid_arg "Gen.cliques_chain";
+  if closed && cliques < 3 then invalid_arg "Gen.cliques_cycle: need >= 3 cliques";
+  let n = cliques * clique_size in
+  let es = ref [] in
+  for c = 0 to cliques - 1 do
+    es := clique_edges weighting rng ~offset:(c * clique_size) ~size:clique_size !es
+  done;
+  let last = if closed then cliques - 1 else cliques - 2 in
+  for c = 0 to last do
+    let next = (c + 1) mod cliques in
+    (* Bridge: last node of clique c to first node of clique next. *)
+    es := edge weighting rng ((c * clique_size) + clique_size - 1) (next * clique_size) :: !es
+  done;
+  Wgraph.make ~n !es
+
+let cliques_cycle ~cliques ~clique_size ~weighting ~rng =
+  cliques_chain ~closed:true ~cliques ~clique_size ~weighting ~rng
+
+let cliques_path ~cliques ~clique_size ~weighting ~rng =
+  cliques_chain ~closed:false ~cliques ~clique_size ~weighting ~rng
+
+let barbell ~clique_size ~path_len ~weighting ~rng =
+  if clique_size < 1 || path_len < 1 then invalid_arg "Gen.barbell";
+  let n = (2 * clique_size) + path_len in
+  let es = ref [] in
+  es := clique_edges weighting rng ~offset:0 ~size:clique_size !es;
+  es := clique_edges weighting rng ~offset:(clique_size + path_len) ~size:clique_size !es;
+  (* Path nodes occupy [clique_size, clique_size + path_len). *)
+  for i = 0 to path_len - 2 do
+    es := edge weighting rng (clique_size + i) (clique_size + i + 1) :: !es
+  done;
+  es := edge weighting rng (clique_size - 1) clique_size :: !es;
+  es := edge weighting rng (clique_size + path_len - 1) (clique_size + path_len) :: !es;
+  Wgraph.make ~n !es
+
+let weighted_hard_diameter ~n ~heavy ~rng =
+  if n < 4 then invalid_arg "Gen.weighted_hard_diameter: need n >= 4";
+  if heavy < 2 then invalid_arg "Gen.weighted_hard_diameter: heavy < 2";
+  (* A star-like topology: hub 0 adjacent to everyone (D_G = 2). Most
+     spokes are light and the light nodes also form a rim, but a sparse
+     set of "remote" nodes is attached only by a heavy spoke — so hop
+     distances stay at 2 while weighted distances between two remote
+     nodes are ~2*heavy. This is the regime where weighted and
+     unweighted diameter/radius diverge. *)
+  let remote v = v mod 7 = 3 in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    let w = if remote v then heavy else 1 in
+    es := { Wgraph.u = 0; v; w } :: !es
+  done;
+  for v = 1 to n - 2 do
+    if (not (remote v)) && not (remote (v + 1)) then
+      es := { Wgraph.u = v; v = v + 1; w = 1 + Util.Rng.int rng 3 } :: !es
+  done;
+  Wgraph.make ~n !es
+
+let reweight g ~weighting ~rng =
+  Wgraph.map_weights g ~f:(fun ~u:_ ~v:_ ~w:_ -> draw_weight weighting rng)

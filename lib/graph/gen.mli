@@ -1,0 +1,45 @@
+(** Graph generators for tests, examples, and the benchmark sweeps.
+
+    The evaluation needs graph families with *controlled unweighted
+    diameter* [D_G] (the knob of Theorem 1.1) and controlled weights:
+    [cliques_cycle] and [cliques_path] give [D_G = Θ(length)] with many
+    nodes, [grid] gives [D_G = Θ(√n)], [gnp_connected] gives
+    [D_G = Θ(log n)]. Weighted variants draw weights uniformly in
+    [[1, max_w]]. *)
+
+type weighting = Unit | Uniform of { max_w : int }
+
+val path : n:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+val cycle : n:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+val star : n:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+val complete : n:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+
+val grid : rows:int -> cols:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+
+val random_tree : n:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+(** Uniform attachment tree. *)
+
+val gnp_connected : n:int -> p:float -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+(** Erdős–Rényi [G(n,p)] made connected by adding a random spanning
+    tree's missing edges. *)
+
+val cliques_cycle :
+  cliques:int -> clique_size:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+(** A cycle of [cliques] cliques, consecutive cliques bridged by one
+    edge: [n = cliques * clique_size], [D_G = Θ(cliques)]. The workhorse
+    family for sweeping [D] at fixed [n]. *)
+
+val cliques_path :
+  cliques:int -> clique_size:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+
+val barbell : clique_size:int -> path_len:int -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+(** Two cliques joined by a path ("lollipop with two heads"): extreme
+    eccentricity spread, good for radius-vs-diameter tests. *)
+
+val weighted_hard_diameter : n:int -> heavy:int -> rng:Util.Rng.t -> Wgraph.t
+(** A small-[D_G] graph whose *weighted* diameter is dominated by a few
+    heavy edges — the regime where weighted and unweighted
+    diameter/radius diverge (the gap the paper is about). *)
+
+val reweight : Wgraph.t -> weighting:weighting -> rng:Util.Rng.t -> Wgraph.t
+(** Keep the topology, redraw the weights. *)

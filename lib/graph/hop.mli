@@ -1,0 +1,18 @@
+(** Hop distances on weighted shortest paths (Section 3.1).
+
+    [h_{G,w}(u,v)] is the minimum number of edges over all *weighted
+    shortest* paths between [u] and [v]; the hop diameter [H_{G,w}] is
+    its maximum over pairs. These quantities drive the correctness of
+    the skeleton construction (Lemma 3.3 needs shortest paths to break
+    into low-hop segments through sampled nodes). *)
+
+val distances : Wgraph.t -> src:int -> Dist.t array * Dist.t array
+(** [(dist, hops)]: exact weighted distances and, for each reachable
+    node, the minimum hop count among shortest paths. Computed by
+    Dijkstra with lexicographic [(length, hops)] priorities. *)
+
+val hop_distance : Wgraph.t -> u:int -> v:int -> Dist.t
+(** [h_{G,w}(u,v)]; [Dist.inf] if unreachable, 0 when [u = v]. *)
+
+val hop_diameter : Wgraph.t -> Dist.t
+(** [H_{G,w}]: maximum hop distance over all pairs. *)

@@ -1,0 +1,67 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Wgraph.n g));
+  List.iter
+    (fun { Wgraph.u; v; w } -> Buffer.add_string buf (Printf.sprintf "%d %d %d\n" u v w))
+    (Wgraph.edges g);
+  Buffer.contents buf
+
+let of_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let n = ref (-1) in
+  let edges = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "n"; count ] -> (
+          match int_of_string_opt count with
+          | Some c when c >= 0 -> n := c
+          | _ -> failwith (Printf.sprintf "Io.of_edge_list: bad node count at line %d" (lineno + 1))
+          )
+        | [ u; v; w ] -> (
+          match (int_of_string_opt u, int_of_string_opt v, int_of_string_opt w) with
+          | Some u, Some v, Some w -> edges := { Wgraph.u; v; w } :: !edges
+          | _ -> failwith (Printf.sprintf "Io.of_edge_list: bad edge at line %d" (lineno + 1)))
+        | _ -> failwith (Printf.sprintf "Io.of_edge_list: bad line %d" (lineno + 1))
+      end)
+    lines;
+  if !n < 0 then failwith "Io.of_edge_list: missing 'n <count>' header";
+  Wgraph.make ~n:!n (List.rev !edges)
+
+let save g ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_edge_list g))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_edge_list (really_input_string ic len))
+
+let to_dot ?(name = "G") ?label ?color ?(weight_label = true) g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle fontsize=10];\n" name);
+  for v = 0 to Wgraph.n g - 1 do
+    let lbl = match label with Some f -> f v | None -> string_of_int v in
+    let fill =
+      match color with
+      | Some f -> (
+        match f v with
+        | Some c -> Printf.sprintf " style=filled fillcolor=\"%s\"" c
+        | None -> "")
+      | None -> ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" v lbl fill)
+  done;
+  List.iter
+    (fun { Wgraph.u; v; w } ->
+      if weight_label then
+        Buffer.add_string buf (Printf.sprintf "  %d -- %d [label=\"%d\"];\n" u v w)
+      else Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    (Wgraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

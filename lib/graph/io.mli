@@ -1,0 +1,25 @@
+(** Plain-text graph serialization and Graphviz export.
+
+    The edge-list format is one header line ["n <nodes>"] followed by
+    one ["u v w"] line per edge; blank lines and [#]-comments are
+    ignored. [to_dot] renders the graph for Graphviz — the benchmark
+    harness uses it to regenerate the paper's Figures 1 and 2 as
+    drawable artifacts. *)
+
+val to_edge_list : Wgraph.t -> string
+val of_edge_list : string -> Wgraph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : Wgraph.t -> path:string -> unit
+val load : path:string -> Wgraph.t
+
+val to_dot :
+  ?name:string ->
+  ?label:(int -> string) ->
+  ?color:(int -> string option) ->
+  ?weight_label:bool ->
+  Wgraph.t ->
+  string
+(** Undirected Graphviz source. [label] names nodes (default: the id),
+    [color] fills them, [weight_label ] (default true) prints edge
+    weights. *)

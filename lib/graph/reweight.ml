@@ -1,0 +1,71 @@
+type params = { ell : int; eps : float }
+
+let check params =
+  if params.ell < 1 then invalid_arg "Reweight: ell < 1";
+  if params.eps <= 0.0 || params.eps > 1.0 then invalid_arg "Reweight: eps out of (0,1]"
+
+let num_scales ~n ~max_w ~eps =
+  if n < 1 || max_w < 1 then invalid_arg "Reweight.num_scales";
+  let x = 2.0 *. float_of_int n *. float_of_int max_w /. eps in
+  int_of_float (floor (Util.Int_math.log2f x)) + 1
+
+let scaled_weight_f params ~i ~w =
+  check params;
+  if w <= 0.0 then invalid_arg "Reweight.scaled_weight_f: non-positive";
+  let denom = params.eps *. float_of_int (Util.Int_math.pow 2 i) in
+  let v = ceil (2.0 *. float_of_int params.ell *. w /. denom) in
+  max 1 (int_of_float v)
+
+let scaled_weight params ~i ~w = scaled_weight_f params ~i ~w:(float_of_int w)
+
+let scaled_graph g params ~i =
+  Wgraph.map_weights g ~f:(fun ~u:_ ~v:_ ~w -> scaled_weight params ~i ~w)
+
+let hop_budget params =
+  check params;
+  int_of_float (ceil ((1.0 +. (2.0 /. params.eps)) *. float_of_int params.ell))
+
+let unscale params ~i d =
+  float_of_int d *. params.eps *. float_of_int (Util.Int_math.pow 2 i)
+  /. (2.0 *. float_of_int params.ell)
+
+let approx_from g params ~src =
+  check params;
+  let n = Wgraph.n g in
+  let budget = hop_budget params in
+  let scales = num_scales ~n ~max_w:(Wgraph.max_weight g) ~eps:params.eps in
+  let best = Array.make n Float.infinity in
+  for i = 0 to scales - 1 do
+    let gi = scaled_graph g params ~i in
+    let di = Dijkstra.distances gi ~src in
+    Array.iteri
+      (fun v d ->
+        if Dist.is_finite d && d <= budget then begin
+          let value = unscale params ~i d in
+          if value < best.(v) then best.(v) <- value
+        end)
+      di
+  done;
+  best
+
+let approx_pair g params ~u ~v = (approx_from g params ~src:u).(v)
+
+let check_sandwich g params ~src =
+  let n = Wgraph.n g in
+  let approx = approx_from g params ~src in
+  let exact = Dijkstra.distances g ~src in
+  let hop_limited = Dijkstra.bounded_hop_distances g ~src ~hops:params.ell in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    (* Lower bound must hold whenever d̃ is finite. *)
+    if approx.(v) < Float.infinity then begin
+      if Dist.is_inf exact.(v) then ok := false
+      else if approx.(v) < float_of_int exact.(v) -. 1e-9 then ok := false
+    end;
+    (* Upper bound holds whenever d^ℓ is finite. *)
+    if Dist.is_finite hop_limited.(v) then begin
+      let ub = (1.0 +. params.eps) *. float_of_int hop_limited.(v) in
+      if approx.(v) > ub +. 1e-9 then ok := false
+    end
+  done;
+  !ok

@@ -1,0 +1,43 @@
+(** Lemma 3.2: approximate bounded-hop distances via weight scaling.
+
+    For an integer [ℓ > 0] and accuracy [ε], the scaled weights are
+    [w_i(e) = ⌈2ℓ·w(e)/(ε·2^i)⌉] for scale [i ≥ 0]. The approximate
+    bounded-hop distance is
+
+    [d̃^ℓ(u,v) = min_i { d_{G,w_i}(u,v)·ε·2^i/(2ℓ) : d_{G,w_i}(u,v) ≤ (1+2/ε)ℓ }]
+
+    and satisfies [d(u,v) ≤ d̃^ℓ(u,v) ≤ (1+ε)·d^ℓ(u,v)].
+
+    Values are reals; this module returns them as floats
+    ([Float.infinity] when no scale accepts). These are centralized
+    reference implementations; the distributed versions live in
+    [lib/nanongkai] and are tested against these. *)
+
+type params = { ell : int; eps : float }
+
+val num_scales : n:int -> max_w:int -> eps:float -> int
+(** [⌊log₂(2nW/ε)⌋ + 1]: how many scales Algorithm 1 iterates over. *)
+
+val scaled_weight : params -> i:int -> w:int -> int
+(** [w_i(e)] for an original weight [w(e)]. Always [>= 1]. *)
+
+val scaled_weight_f : params -> i:int -> w:float -> int
+(** Same with a real original weight (used when Lemma 3.2 is re-applied
+    to the overlay graph, whose weights are approximate distances). *)
+
+val scaled_graph : Wgraph.t -> params -> i:int -> Wgraph.t
+(** The graph [(G, w_i)]. *)
+
+val hop_budget : params -> int
+(** [⌈(1 + 2/ε)·ℓ⌉]: the acceptance bound on scaled distances, and the
+    round budget of Algorithm 2. *)
+
+val approx_from : Wgraph.t -> params -> src:int -> float array
+(** [d̃^ℓ(src, ·)] for every node. *)
+
+val approx_pair : Wgraph.t -> params -> u:int -> v:int -> float
+(** [d̃^ℓ(u, v)]. *)
+
+val check_sandwich : Wgraph.t -> params -> src:int -> bool
+(** Verify [d ≤ d̃^ℓ ≤ (1+ε)·d^ℓ] for every target (ignoring targets
+    where [d^ℓ] is infinite). Used by tests and the self-check bench. *)

@@ -1,0 +1,113 @@
+type edge = { u : int; v : int; w : int }
+
+type t = {
+  n : int;
+  adj : (int * int) array array;
+  edge_list : edge list; (* normalized: u < v, deduplicated, sorted *)
+}
+
+let normalize_edge { u; v; w } = if u <= v then { u; v; w } else { u = v; v = u; w }
+
+let make ~n raw =
+  if n < 0 then invalid_arg "Wgraph.make: negative n";
+  List.iter
+    (fun { u; v; w } ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Wgraph.make: endpoint out of range";
+      if u = v then invalid_arg "Wgraph.make: self-loop";
+      if w <= 0 then invalid_arg "Wgraph.make: non-positive weight")
+    raw;
+  (* Deduplicate parallel edges keeping the minimum weight. *)
+  let tbl = Hashtbl.create (List.length raw * 2) in
+  List.iter
+    (fun e ->
+      let e = normalize_edge e in
+      let key = (e.u, e.v) in
+      match Hashtbl.find_opt tbl key with
+      | Some w0 when w0 <= e.w -> ()
+      | _ -> Hashtbl.replace tbl key e.w)
+    raw;
+  let edge_list =
+    Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
+    |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
+  in
+  let deg = Array.make (max 1 n) 0 in
+  List.iter
+    (fun { u; v; _ } ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edge_list;
+  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0)) in
+  let fill = Array.make (max 1 n) 0 in
+  List.iter
+    (fun { u; v; w } ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    edge_list;
+  { n; adj; edge_list }
+
+let n g = g.n
+let m g = List.length g.edge_list
+let edges g = g.edge_list
+let neighbors g u = g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let weight g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Wgraph.weight";
+  let found = ref None in
+  Array.iter (fun (x, w) -> if x = v then found := Some w) g.adj.(u);
+  !found
+
+let max_weight g = List.fold_left (fun acc e -> max acc e.w) 1 g.edge_list
+
+let is_connected g =
+  if g.n <= 1 then true
+  else begin
+    let seen = Array.make g.n false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let count = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Array.iter
+        (fun (v, _) ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr count;
+            Queue.add v queue
+          end)
+        g.adj.(u)
+    done;
+    !count = g.n
+  end
+
+let with_unit_weights g = make ~n:g.n (List.map (fun e -> { e with w = 1 }) g.edge_list)
+
+let map_weights g ~f =
+  make ~n:g.n (List.map (fun { u; v; w } -> { u; v; w = f ~u ~v ~w }) g.edge_list)
+
+let induced g nodes =
+  let k = List.length nodes in
+  let of_new = Array.of_list nodes in
+  let to_new = Hashtbl.create k in
+  List.iteri
+    (fun i v ->
+      if Hashtbl.mem to_new v then invalid_arg "Wgraph.induced: duplicate node";
+      Hashtbl.replace to_new v i)
+    nodes;
+  let sub_edges =
+    List.filter_map
+      (fun { u; v; w } ->
+        match (Hashtbl.find_opt to_new u, Hashtbl.find_opt to_new v) with
+        | Some u', Some v' -> Some { u = u'; v = v'; w }
+        | _ -> None)
+      g.edge_list
+  in
+  (make ~n:k sub_edges, of_new)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  List.iter (fun { u; v; w } -> Format.fprintf ppf "  %d -[%d]- %d@," u w v) g.edge_list;
+  Format.fprintf ppf "@]"

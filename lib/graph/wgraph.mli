@@ -1,0 +1,53 @@
+(** Weighted undirected graphs [(G, w)] with [w : E -> ℕ⁺].
+
+    Nodes are integers in [[0, n-1]]. The representation is an
+    adjacency array built once from an edge list; graphs are immutable
+    after construction. Parallel edges are collapsed to the minimum
+    weight and self-loops are rejected, matching the paper's simple
+    weighted graphs. *)
+
+type edge = { u : int; v : int; w : int }
+
+type t
+
+val make : n:int -> edge list -> t
+(** Build a graph. Raises [Invalid_argument] on out-of-range endpoints,
+    self-loops, or non-positive weights. Parallel edges keep the
+    minimum weight. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of (undirected) edges after de-duplication. *)
+
+val edges : t -> edge list
+(** Each undirected edge once, with [u < v]. *)
+
+val neighbors : t -> int -> (int * int) array
+(** [(neighbor, weight)] pairs; do not mutate. *)
+
+val degree : t -> int -> int
+
+val weight : t -> int -> int -> int option
+(** Weight of the edge between two nodes, if present. *)
+
+val max_weight : t -> int
+(** [W = max_e w(e)]; 1 for edgeless graphs. *)
+
+val is_connected : t -> bool
+
+val with_unit_weights : t -> t
+(** Same topology, all weights 1 — the graph [w*] whose diameter is the
+    paper's unweighted diameter [D_G]. *)
+
+val map_weights : t -> f:(u:int -> v:int -> w:int -> int) -> t
+(** Reweighted copy; [f] must return positive weights. Used for the
+    Lemma 3.2 scaled weights [w_i]. *)
+
+val induced : t -> int list -> t * int array
+(** [induced g nodes] is the subgraph induced by [nodes] (which must be
+    distinct), with nodes renumbered [0..k-1] in the order given, plus
+    the mapping from new index to original node. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type poly = {
+  degree : int;
+  eval_weight : int -> float;
+}
+
+let chebyshev d x =
+  if d < 0 then invalid_arg "Approx_degree.chebyshev";
+  let rec go i t_prev t_cur =
+    if i = d then t_cur else go (i + 1) t_cur ((2.0 *. x *. t_cur) -. t_prev)
+  in
+  if d = 0 then 1.0 else go 1 1.0 x
+
+let or_approx ~n =
+  if n < 1 then invalid_arg "Approx_degree.or_approx";
+  if n = 1 then { degree = 1; eval_weight = (fun t -> float_of_int t) }
+  else begin
+    (* Map [1, n] affinely onto [-1, 1]; weight 0 lands at 1 + 2/(n-1),
+       where T_d blows up. Choose the least degree d with
+       T_d(1 + 2/(n-1)) >= 3, which is O(√n). *)
+    let phi t =
+      1.0 -. (2.0 *. (float_of_int t -. 1.0) /. (float_of_int n -. 1.0))
+    in
+    let target = phi 0 in
+    let rec find_d d = if chebyshev d target >= 3.0 then d else find_d (d + 1) in
+    let d = find_d 1 in
+    let top = chebyshev d target in
+    (* q(t) = T_d(φ(t))/T_d(φ(0)): q(0) = 1, |q(t)| <= 1/3 on [1, n].
+       p = 1 - q approximates OR. *)
+    { degree = d; eval_weight = (fun t -> 1.0 -. (chebyshev d (phi t) /. top)) }
+  end
+
+let or_approx_is_valid ~n =
+  let p = or_approx ~n in
+  let ok = ref (p.eval_weight 0 >= -.1e-9 && p.eval_weight 0 <= (1.0 /. 3.0) +. 1e-9) in
+  for t = 1 to n do
+    let v = p.eval_weight t in
+    if v < (2.0 /. 3.0) -. 1e-9 || v > (4.0 /. 3.0) +. 1e-9 then ok := false
+  done;
+  (* And the degree really is O(√n): allow 2√n + 2. *)
+  if float_of_int p.degree > (2.0 *. sqrt (float_of_int n)) +. 2.0 then ok := false;
+  !ok
+
+let deg_read_once ~k =
+  if k < 1 then invalid_arg "Approx_degree.deg_read_once";
+  sqrt (float_of_int k)
+
+let or_profile k = Array.init (k + 1) (fun i -> if i = 0 then 0.0 else 1.0)
+
+let minimax_error ~profile ~degree =
+  let points = Array.to_list (Array.mapi (fun i y -> (float_of_int i, y)) profile) in
+  fst (Util.Lp.minimax_fit ~degree ~points)
+
+let exact_deg_symmetric ~profile ~eps =
+  if Array.length profile < 1 then invalid_arg "Approx_degree.exact_deg_symmetric";
+  if eps < 0.0 then invalid_arg "Approx_degree.exact_deg_symmetric: eps";
+  let k = Array.length profile - 1 in
+  let rec find d =
+    if d > k then k (* degree k always interpolates exactly *)
+    else if minimax_error ~profile ~degree:d <= eps +. 1e-9 then d
+    else find (d + 1)
+  in
+  find 0
+
+let exact_deg_or ~k ~eps =
+  if k < 1 then invalid_arg "Approx_degree.exact_deg_or";
+  exact_deg_symmetric ~profile:(or_profile k) ~eps
+
+let minimax_error_or ~k ~degree = minimax_error ~profile:(or_profile k) ~degree
+
+let q_sv_bound ~s ~ell =
+  if s < 1 || ell < 1 then invalid_arg "Approx_degree.q_sv_bound";
+  0.5 *. sqrt (float_of_int (Util.Int_math.pow 2 s * ell))
+
+let q_sv_f ~s ~ell = q_sv_bound ~s ~ell
+let q_sv_f' ~s ~ell = q_sv_bound ~s ~ell

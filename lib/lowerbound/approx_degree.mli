@@ -1,0 +1,60 @@
+(** Approximate-degree machinery behind Lemmas 4.5–4.7.
+
+    The quantum Server-model lower bound is
+    [Q^{sv}_ε(f ∘ VER^k) ≥ deg_{4ε}(f)/2 − O(1)] (Lemma 4.5) combined
+    with [deg_{1/3}(f) = Θ(√k)] for read-once formulas (Lemma 4.6).
+    We reproduce the quantities:
+
+    - the [O(√n)]-degree Chebyshev polynomial that 1/3-approximates
+      OR_n (the upper-bound half of Lemma 4.6, verified pointwise), and
+    - numeric evaluators for the composed bounds the proofs of
+      Lemmas 4.7/4.10 chain together. *)
+
+type poly = {
+  degree : int;
+  eval_weight : int -> float;
+      (** Value of the (symmetric) polynomial on inputs of the given
+          Hamming weight. *)
+}
+
+val chebyshev : int -> float -> float
+(** [T_d(x)] by the three-term recurrence (valid for all real [x]). *)
+
+val or_approx : n:int -> poly
+(** A degree-[O(√n)] symmetric polynomial [p] with [p(0) ∈ [0,1/3]] and
+    [p(t) ∈ [2/3, 4/3]] for [t ∈ [1,n]] — i.e. it 1/3-represents OR_n.
+    Built from a scaled Chebyshev polynomial. *)
+
+val or_approx_is_valid : n:int -> bool
+(** Pointwise check of the 1/3-representation on all weights 0..n. *)
+
+val deg_read_once : k:int -> float
+(** The Θ(√k) value of Lemma 4.6, reported with unit constant. *)
+
+(** {2 Exact approximate degrees (LP)}
+
+    For a {e symmetric} Boolean function, Minsky–Papert symmetrization
+    makes the ε-approximate degree equal to the least degree of a
+    univariate polynomial within ε of the function's value profile on
+    Hamming weights [0..k] — a finite minimax problem we solve exactly
+    with the LP solver. This verifies {e both} directions of the
+    Lemma 4.6 bound for OR (the Chebyshev construction above is only
+    the upper-bound half). *)
+
+val exact_deg_symmetric : profile:float array -> eps:float -> int
+(** Least degree [d] whose best uniform approximation error on the
+    profile [f(0..k)] is [<= eps]. [profile] has length [k+1]. *)
+
+val exact_deg_or : k:int -> eps:float -> int
+(** [exact_deg_symmetric] on OR's profile [0,1,1,…]. *)
+
+val minimax_error_or : k:int -> degree:int -> float
+(** The exact best-possible uniform error when approximating OR_k by a
+    degree-[degree] polynomial (0 means exact representation). *)
+
+val q_sv_f : s:int -> ell:int -> float
+(** Lemma 4.7's bound: [Q^{sv}_{1/12}(F) = Ω(√(2^s·ℓ))], evaluated as
+    [½·√(2^s·ℓ)] (the [deg/2 − O(1)] chain with unit constants). *)
+
+val q_sv_f' : s:int -> ell:int -> float
+(** Lemma 4.10's bound for the radius function [F']. *)

@@ -1,0 +1,129 @@
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+
+let rec eval f assignment =
+  match f with
+  | Var i -> assignment.(i)
+  | Not g -> not (eval g assignment)
+  | And gs -> List.for_all (fun g -> eval g assignment) gs
+  | Or gs -> List.exists (fun g -> eval g assignment) gs
+
+let vars f =
+  let rec go acc = function
+    | Var i -> i :: acc
+    | Not g -> go acc g
+    | And gs | Or gs -> List.fold_left go acc gs
+  in
+  List.rev (go [] f)
+
+let is_read_once f =
+  let vs = vars f in
+  List.length vs = List.length (List.sort_uniq compare vs)
+
+let num_vars f =
+  match vars f with [] -> 0 | vs -> 1 + List.fold_left max 0 vs
+
+let and_n n = And (List.init n (fun i -> Var i))
+let or_n n = Or (List.init n (fun i -> Var i))
+
+let compose_blocks ~outer ~arity ~inner =
+  let rec shift off = function
+    | Var i -> Var (i + off)
+    | Not g -> Not (shift off g)
+    | And gs -> And (List.map (shift off) gs)
+    | Or gs -> Or (List.map (shift off) gs)
+  in
+  let rec subst = function
+    | Var i -> shift (i * arity) (inner i)
+    | Not g -> Not (subst g)
+    | And gs -> And (List.map subst gs)
+    | Or gs -> Or (List.map subst gs)
+  in
+  subst outer
+
+type input = { x : bool array; y : bool array }
+
+let check_input ~s2 ~ell { x; y } =
+  if Array.length x <> s2 * ell || Array.length y <> s2 * ell then
+    invalid_arg "Boolfun: input size mismatch"
+
+let f_diameter ~s2 ~ell input =
+  check_input ~s2 ~ell input;
+  let ok_block i =
+    let rec any j = j < ell && ((input.x.((i * ell) + j) && input.y.((i * ell) + j)) || any (j + 1)) in
+    any 0
+  in
+  let rec all i = i >= s2 || (ok_block i && all (i + 1)) in
+  all 0
+
+let f_radius ~s2 ~ell input =
+  check_input ~s2 ~ell input;
+  let rec any k =
+    k < s2 * ell && ((input.x.(k) && input.y.(k)) || any (k + 1))
+  in
+  any 0
+
+let f_diameter_formula ~s2 ~ell =
+  (* Variables: x_{i,j} at i*ell+j, y_{i,j} at s2*ell + i*ell+j. *)
+  let off = s2 * ell in
+  And
+    (List.init s2 (fun i ->
+         Or
+           (List.init ell (fun j ->
+                And [ Var ((i * ell) + j); Var (off + (i * ell) + j) ]))))
+
+let gdt x y =
+  if Array.length x <> 4 || Array.length y <> 4 then invalid_arg "Boolfun.gdt";
+  let rec any i = i < 4 && ((x.(i) && y.(i)) || any (i + 1)) in
+  any 0
+
+let ver a b =
+  if a < 0 || a > 3 || b < 0 || b > 3 then invalid_arg "Boolfun.ver";
+  let m = (a + b) mod 4 in
+  m = 0 || m = 1
+
+(* Alice's codeword for [a] has ones exactly at the positions [b] with
+   a + b ≡ 0 or 1 (mod 4); Bob's codeword is the indicator of [b]. Then
+   GDT(enc_A a, enc_B b) = (enc_A a).(b) = VER(a, b). *)
+let ver_encode_alice a =
+  if a < 0 || a > 3 then invalid_arg "Boolfun.ver_encode_alice";
+  Array.init 4 (fun b -> ver a b)
+
+let ver_encode_bob b =
+  if b < 0 || b > 3 then invalid_arg "Boolfun.ver_encode_bob";
+  Array.init 4 (fun i -> i = b)
+
+let ver_is_promise_of_gdt () =
+  let ok = ref true in
+  for a = 0 to 3 do
+    for b = 0 to 3 do
+      if gdt (ver_encode_alice a) (ver_encode_bob b) <> ver a b then ok := false
+    done
+  done;
+  (* The codeword sets must match the ones stated in Lemma 4.7. *)
+  let as_bits arr = Array.to_list (Array.map (fun b -> if b then 1 else 0) arr) in
+  let alice_words = List.init 4 (fun a -> as_bits (ver_encode_alice a)) in
+  let expected_alice = [ [ 0; 0; 1; 1 ]; [ 1; 0; 0; 1 ]; [ 1; 1; 0; 0 ]; [ 0; 1; 1; 0 ] ] in
+  let sorted l = List.sort compare l in
+  if sorted alice_words <> sorted expected_alice then ok := false;
+  !ok
+
+let random_input ~rng ~s2 ~ell ~p =
+  {
+    x = Array.init (s2 * ell) (fun _ -> Util.Rng.bernoulli rng ~p);
+    y = Array.init (s2 * ell) (fun _ -> Util.Rng.bernoulli rng ~p);
+  }
+
+let input_forcing ~value ~s2 ~ell =
+  if value then
+    (* x_{i,0} = y_{i,0} = 1 for every block: F = F' = 1. *)
+    {
+      x = Array.init (s2 * ell) (fun k -> k mod ell = 0);
+      y = Array.init (s2 * ell) (fun k -> k mod ell = 0);
+    }
+  else
+    (* x all-ones, y all-zeros: every conjunction is false. *)
+    { x = Array.make (s2 * ell) true; y = Array.make (s2 * ell) false }

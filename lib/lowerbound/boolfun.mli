@@ -1,0 +1,75 @@
+(** The Boolean machinery of Section 4: read-once formulas, the gadget
+    functions [F] and [F'], and the VER/GDT promise pair.
+
+    [F  = AND_{2^s} ∘ (OR_ℓ ∘ AND₂^ℓ)^{2^s}] decides the diameter gap,
+    [F' = OR_{2^s·ℓ} ∘ AND₂^{2^s·ℓ}] the radius gap. The lower bound
+    rewrites [F = f ∘ GDT^{2^s·ℓ/4}] with [f] read-once and
+    [GDT = OR₄ ∘ AND₂⁴], whose promise restriction is the VER function
+    of Elkin et al. (Lemma 4.5). *)
+
+(** {2 Read-once formulas} *)
+
+type formula =
+  | Var of int
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+
+val eval : formula -> bool array -> bool
+val vars : formula -> int list
+(** All variable indices, in occurrence order (with repeats). *)
+
+val is_read_once : formula -> bool
+(** Every variable occurs exactly once. *)
+
+val num_vars : formula -> int
+
+val and_n : int -> formula
+(** [AND] of variables [0..n-1]. *)
+
+val or_n : int -> formula
+
+val compose_blocks : outer:formula -> arity:int -> inner:(int -> formula) -> formula
+(** [outer ∘ (inner_0, …)]: outer variable [i] is replaced by
+    [inner i], whose variables are shifted into block [i] of width
+    [arity]. *)
+
+(** {2 The paper's concrete functions} *)
+
+type input = { x : bool array; y : bool array }
+(** Alice's and Bob's inputs, each indexed as [i*ell + j] for
+    [i ∈ [0, 2^s)], [j ∈ [0, ell)]. *)
+
+val f_diameter : s2:int -> ell:int -> input -> bool
+(** [F(x,y) = ⋀_i ⋁_j (x_{i,j} ∧ y_{i,j})] with [s2 = 2^s] blocks. *)
+
+val f_radius : s2:int -> ell:int -> input -> bool
+(** [F'(x,y) = ⋁_{i,j} (x_{i,j} ∧ y_{i,j})]. *)
+
+val f_diameter_formula : s2:int -> ell:int -> formula
+(** [F] over [2·s2·ell] variables (x block then y block); for the
+    read-once/consistency checks. *)
+
+(** {2 VER and GDT} *)
+
+val gdt : bool array -> bool array -> bool
+(** [OR₄(x_i ∧ y_i)] on 4+4 bits. *)
+
+val ver : int -> int -> bool
+(** [VER(a,b) = 1 ⟺ a + b ≡ 0 or 1 (mod 4)], [a, b ∈ {0,1,2,3}]. *)
+
+val ver_encode_alice : int -> bool array
+(** The 4-bit promise codeword for Alice's [a]
+    (in [{0011,1001,1100,0110}] as bit patterns). *)
+
+val ver_encode_bob : int -> bool array
+(** Bob's one-hot codeword (in [{0001,0010,0100,1000}]). *)
+
+val ver_is_promise_of_gdt : unit -> bool
+(** Exhaustive check of Lemma 4.7's claim:
+    [GDT(enc_A a, enc_B b) = VER(a, b)] for all 16 pairs. *)
+
+val random_input : rng:Util.Rng.t -> s2:int -> ell:int -> p:float -> input
+val input_forcing : value:bool -> s2:int -> ell:int -> input
+(** A canonical input with [F(x,y) = value] (for [f_diameter]); also
+    forces [F' = value] when [value] distinguishes emptiness. *)

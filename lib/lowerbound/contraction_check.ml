@@ -1,0 +1,265 @@
+type contracted = {
+  g' : Graphlib.Wgraph.t;
+  class_of : int array;
+  t_node : int;
+  a : int array;
+  b : int array;
+  routers : (int * int) array array;
+  stars : int array;
+  a_zero : int option;
+}
+
+let contract (gd : Gadget.t) =
+  let res = Graphlib.Contraction.contract_unit_edges gd.Gadget.graph in
+  let class_of = res.Graphlib.Contraction.class_of in
+  let cls k = class_of.(Gadget.id_of gd k) in
+  let { Gadget.s; ell; _ } = gd.Gadget.p in
+  let two_s = Util.Int_math.pow 2 s in
+  {
+    g' = res.Graphlib.Contraction.graph;
+    class_of;
+    t_node = cls (Gadget.Tree { depth = 0; pos = 1 });
+    a = Array.init two_s (fun i -> cls (Gadget.A (i + 1)));
+    b = Array.init two_s (fun i -> cls (Gadget.B (i + 1)));
+    routers =
+      Array.init s (fun j ->
+          [|
+            (0, cls (Gadget.A_router { j = j + 1; bit = 0 }));
+            (1, cls (Gadget.A_router { j = j + 1; bit = 1 }));
+          |]);
+    stars = Array.init ell (fun j -> cls (Gadget.A_star (j + 1)));
+    a_zero =
+      (match gd.Gadget.variant with
+      | Gadget.Radius_gadget -> Some (cls Gadget.A_zero)
+      | Gadget.Diameter_gadget -> None);
+  }
+
+let structure_ok (gd : Gadget.t) c =
+  let cls k = c.class_of.(Gadget.id_of gd k) in
+  let { Gadget.h; s; ell; _ } = gd.Gadget.p in
+  let two_h = Util.Int_math.pow 2 h in
+  let ok = ref true in
+  (* Tree collapses to one class. *)
+  for depth = 0 to h do
+    for pos = 1 to Util.Int_math.pow 2 depth do
+      if cls (Gadget.Tree { depth; pos }) <> c.t_node then ok := false
+    done
+  done;
+  (* a_j^x merges with path 2j-1+x and with b_j^{x⊕1}. *)
+  for j = 1 to s do
+    for bit = 0 to 1 do
+      let router = cls (Gadget.A_router { j; bit }) in
+      let path = (2 * j) - 1 + bit in
+      if cls (Gadget.Path { path; pos = 1 }) <> router then ok := false;
+      if cls (Gadget.Path { path; pos = two_h }) <> router then ok := false;
+      if cls (Gadget.B_router { j; bit = 1 - bit }) <> router then ok := false
+    done
+  done;
+  (* a_j^* merges with b_j^*. *)
+  for j = 1 to ell do
+    if cls (Gadget.B_star j) <> cls (Gadget.A_star j) then ok := false
+  done;
+  (* a_i and b_i stay singletons. *)
+  let class_size = Hashtbl.create 64 in
+  Array.iter
+    (fun cl ->
+      Hashtbl.replace class_size cl (1 + Option.value ~default:0 (Hashtbl.find_opt class_size cl)))
+    c.class_of;
+  Array.iteri
+    (fun idx cl ->
+      match gd.Gadget.kind_of.(idx) with
+      | Gadget.A _ | Gadget.B _ -> if Hashtbl.find class_size cl <> 1 then ok := false
+      | _ -> ())
+    c.class_of;
+  (* And t is distinct from every router/star/clique class. *)
+  if Array.exists (fun r -> snd r.(0) = c.t_node || snd r.(1) = c.t_node) c.routers then
+    ok := false;
+  !ok
+
+type table2_row = {
+  label : string;
+  bound : int;
+  worst : Graphlib.Dist.t;
+  ok : bool;
+}
+
+let table2 (gd : Gadget.t) c ?(sample = 8) ~rng () =
+  let alpha = gd.Gadget.alpha and beta = gd.Gadget.beta in
+  let { Gadget.s; ell; _ } = gd.Gadget.p in
+  let two_s = Util.Int_math.pow 2 s in
+  let sample_indices n =
+    if n <= sample then List.init n (fun i -> i + 1)
+    else begin
+      let extremes = [ 1; n ] in
+      let rest =
+        List.map (fun v -> v + 1) (Util.Rng.sample_without_replacement rng ~k:(sample - 2) ~n)
+      in
+      List.sort_uniq compare (extremes @ rest)
+    end
+  in
+  let routers_all =
+    Array.to_list c.routers
+    |> List.concat_map (fun r -> [ snd r.(0); snd r.(1) ])
+    |> fun l -> l @ Array.to_list c.stars
+  in
+  let dist_from = Hashtbl.create 64 in
+  let dists src =
+    match Hashtbl.find_opt dist_from src with
+    | Some d -> d
+    | None ->
+      let d = Graphlib.Dijkstra.distances c.g' ~src in
+      Hashtbl.replace dist_from src d;
+      d
+  in
+  let rows = ref [] in
+  let row label bound pairs =
+    let worst =
+      List.fold_left (fun acc (u, v) -> max acc (dists u).(v)) 0 pairs
+    in
+    rows := { label; bound; worst; ok = Graphlib.Dist.compare worst bound <= 0 } :: !rows
+  in
+  let a_samp = sample_indices two_s in
+  let t = c.t_node in
+  row "t -> router" alpha (List.map (fun r -> (t, r)) routers_all);
+  row "t -> a_i" (2 * alpha) (List.map (fun i -> (t, c.a.(i - 1))) a_samp);
+  row "t -> b_i" (2 * alpha) (List.map (fun i -> (t, c.b.(i - 1))) a_samp);
+  row "a_i -> a_j (i<>j)" alpha
+    (List.concat_map
+       (fun i -> List.filter_map (fun j -> if j <> i then Some (c.a.(i - 1), c.a.(j - 1)) else None) a_samp)
+       a_samp);
+  row "a_i -> a_j^bin(i,j)" alpha
+    (List.concat_map
+       (fun i ->
+         List.init s (fun j ->
+             let bit = Gadget.bin ~i ~j:(j + 1) in
+             (c.a.(i - 1), snd c.routers.(j).(bit))))
+       a_samp);
+  row "a_i -> a_j^(bin(i,j) xor 1)" (2 * alpha)
+    (List.concat_map
+       (fun i ->
+         List.init s (fun j ->
+             let bit = 1 - Gadget.bin ~i ~j:(j + 1) in
+             (c.a.(i - 1), snd c.routers.(j).(bit))))
+       a_samp);
+  row "a_i -> b_j (i<>j)" (2 * alpha)
+    (List.concat_map
+       (fun i -> List.filter_map (fun j -> if j <> i then Some (c.a.(i - 1), c.b.(j - 1)) else None) a_samp)
+       a_samp);
+  row "a_i -> a_j*" beta
+    (List.concat_map (fun i -> List.init ell (fun j -> (c.a.(i - 1), c.stars.(j)))) a_samp);
+  row "b_i -> b_j (i<>j)" alpha
+    (List.concat_map
+       (fun i -> List.filter_map (fun j -> if j <> i then Some (c.b.(i - 1), c.b.(j - 1)) else None) a_samp)
+       a_samp);
+  row "b_i -> a_j^(bin(i,j) xor 1)" alpha
+    (List.concat_map
+       (fun i ->
+         List.init s (fun j ->
+             let bit = 1 - Gadget.bin ~i ~j:(j + 1) in
+             (c.b.(i - 1), snd c.routers.(j).(bit))))
+       a_samp);
+  row "b_i -> a_j^bin(i,j)" (2 * alpha)
+    (List.concat_map
+       (fun i ->
+         List.init s (fun j ->
+             let bit = Gadget.bin ~i ~j:(j + 1) in
+             (c.b.(i - 1), snd c.routers.(j).(bit))))
+       a_samp);
+  row "b_i -> a_j*" beta
+    (List.concat_map (fun i -> List.init ell (fun j -> (c.b.(i - 1), c.stars.(j)))) a_samp);
+  row "router -> router" (2 * alpha)
+    (List.concat_map (fun u -> List.map (fun v -> (u, v)) routers_all) routers_all);
+  List.rev !rows
+
+type gap_check = {
+  f_value : bool;
+  yes_threshold : int;
+  no_threshold : int;
+  measured : int;
+  measured_lo : int;
+  measured_hi : int;
+  ok : bool;
+  distinguishable : float -> bool;
+}
+
+let make_gap gd ~f_value ~d_contracted =
+  let n = Graphlib.Wgraph.n gd.Gadget.graph in
+  let alpha = gd.Gadget.alpha and beta = gd.Gadget.beta in
+  let yes_threshold = max (2 * alpha) beta + n in
+  let no_threshold = min (alpha + beta) (3 * alpha) in
+  let measured_lo = d_contracted and measured_hi = d_contracted + n in
+  let ok =
+    if f_value then measured_hi <= yes_threshold else measured_lo >= no_threshold
+  in
+  let distinguishable eps =
+    (* A (3/2−ε)-approximation of a YES instance stays below every NO
+       instance's true value. *)
+    (1.5 -. eps) *. float_of_int yes_threshold < float_of_int no_threshold
+  in
+  {
+    f_value;
+    yes_threshold;
+    no_threshold;
+    measured = d_contracted;
+    measured_lo;
+    measured_hi;
+    ok;
+    distinguishable;
+  }
+
+let lemma_4_4 (gd : Gadget.t) =
+  if gd.Gadget.variant <> Gadget.Diameter_gadget then invalid_arg "lemma_4_4: wrong variant";
+  let c = contract gd in
+  let { Gadget.s; ell; _ } = gd.Gadget.p in
+  let f_value =
+    Boolfun.f_diameter ~s2:(Util.Int_math.pow 2 s) ~ell gd.Gadget.input
+  in
+  let d' = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter c.g') in
+  make_gap gd ~f_value ~d_contracted:d'
+
+type ecc_row = {
+  category : string;
+  min_ecc : int;
+  claimed_lower : int option;
+  ok : bool;
+}
+
+let fig4_eccentricities (gd : Gadget.t) c =
+  if gd.Gadget.variant <> Gadget.Radius_gadget then
+    invalid_arg "fig4_eccentricities: radius variant only";
+  let alpha = gd.Gadget.alpha in
+  let ecc src =
+    Array.fold_left max 0 (Graphlib.Dijkstra.distances c.g' ~src)
+  in
+  let min_ecc nodes = List.fold_left (fun acc v -> min acc (ecc v)) Graphlib.Dist.inf nodes in
+  let row category nodes claimed_lower =
+    let m = min_ecc nodes in
+    {
+      category;
+      min_ecc = m;
+      claimed_lower;
+      ok = (match claimed_lower with None -> true | Some lb -> m >= lb);
+    }
+  in
+  let routers =
+    Array.to_list c.routers |> List.concat_map (fun r -> [ snd r.(0); snd r.(1) ])
+  in
+  [
+    row "t" [ c.t_node ] (Some (3 * alpha));
+    row "routers a_j^x" routers (Some (3 * alpha));
+    row "stars a_j*" (Array.to_list c.stars) (Some (3 * alpha));
+    row "b_i" (Array.to_list c.b) (Some (3 * alpha));
+    row "a_0"
+      (match c.a_zero with Some v -> [ v ] | None -> [])
+      (Some (3 * alpha));
+    (* The a_i themselves: no 3α claim — they are the radius candidates. *)
+    row "a_i (radius candidates)" (Array.to_list c.a) None;
+  ]
+
+let lemma_4_9 (gd : Gadget.t) =
+  if gd.Gadget.variant <> Gadget.Radius_gadget then invalid_arg "lemma_4_9: wrong variant";
+  let c = contract gd in
+  let { Gadget.s; ell; _ } = gd.Gadget.p in
+  let f_value = Boolfun.f_radius ~s2:(Util.Int_math.pow 2 s) ~ell gd.Gadget.input in
+  let r' = Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_radius c.g') in
+  make_gap gd ~f_value ~d_contracted:r'

@@ -1,0 +1,75 @@
+(** The contracted gadget [G'] (Figures 3 and 4) and the distance
+    arguments of Table 2 and Lemmas 4.4 / 4.9.
+
+    Contracting the weight-1 edges merges: the whole binary tree into
+    one node [t]; each path together with its two weight-1-attached
+    endpoints into one router node (so [a_j^x] absorbs [b_j^{x⊕1}],
+    and [a_j^*] absorbs [b_j^*]). What remains is the clique pair
+    [{a_i}], [{b_i}] wired through routers — the picture on which the
+    diameter/radius gap is decided by [F]/[F']. *)
+
+type contracted = {
+  g' : Graphlib.Wgraph.t;
+  class_of : int array;  (** Original node -> [G'] node. *)
+  t_node : int;
+  a : int array;  (** [a.(i-1)] = class of [a_i]. *)
+  b : int array;
+  routers : (int * int) array array;
+      (** [routers.(j-1)] = [| (0, class of a_j^0); (1, class of a_j^1) |]. *)
+  stars : int array;  (** [stars.(j-1)] = class of [a_j^*]. *)
+  a_zero : int option;
+}
+
+val contract : Gadget.t -> contracted
+
+val structure_ok : Gadget.t -> contracted -> bool
+(** The merges are exactly as Figure 3 predicts: tree+nothing else in
+    [t]'s class; [a_j^x] shares a class with [b_j^{x⊕1}] and path
+    [2j-1+x]; [a_j^*] with [b_j^*]; every [a_i], [b_i] is a singleton
+    class. *)
+
+type table2_row = {
+  label : string;
+  bound : int;  (** Upper bound in units of the concrete [α]/[β]. *)
+  worst : Graphlib.Dist.t;  (** Worst measured distance in that category. *)
+  ok : bool;
+}
+
+val table2 : Gadget.t -> contracted -> ?sample:int -> rng:Util.Rng.t -> unit -> table2_row list
+(** Measure every row of Table 2 on the concrete instance (distances by
+    Dijkstra from [sample] random representatives per category,
+    default 8, plus always the extremes). *)
+
+type gap_check = {
+  f_value : bool;
+  yes_threshold : int;  (** [max{2α, β} + n]. *)
+  no_threshold : int;  (** [min{α+β, 3α}]. *)
+  measured : int;  (** Exact [D_{G,w}] (or [R_{G,w}]) via [G'] + Lemma 4.3 bracketing. *)
+  measured_lo : int;
+  measured_hi : int;
+  ok : bool;  (** The measured value is on the right side of its threshold. *)
+  distinguishable : float -> bool;
+      (** Whether a [(3/2−ε)]-approximation separates the two cases. *)
+}
+
+val lemma_4_4 : Gadget.t -> gap_check
+(** Diameter variant: exact [D_{G'}] (full APSP on [G']), bracketing
+    [D_{G'} ≤ D_{G,w} ≤ D_{G'} + n]. *)
+
+val lemma_4_9 : Gadget.t -> gap_check
+(** Radius variant. *)
+
+type ecc_row = {
+  category : string;
+  min_ecc : int;  (** Minimum eccentricity over the category's nodes in [G']. *)
+  claimed_lower : int option;
+      (** Lemma 4.9's claim, when it makes one: every node outside
+          [{a_1..a_{2^s}}] has eccentricity at least [3α]. *)
+  ok : bool;
+}
+
+val fig4_eccentricities : Gadget.t -> contracted -> ecc_row list
+(** The eccentricity structure behind Figure 4: per node category, the
+    minimum eccentricity in [G'], checked against the [>= 3α] claim for
+    all non-[a_i] categories (the reason the radius is decided by the
+    [a_i] alone). Radius variant only. *)

@@ -1,0 +1,90 @@
+type bound = {
+  h : int;
+  n : int;
+  d_unweighted : int;
+  q_sv : float;
+  bandwidth : int;
+  t_lower : float;
+  n_two_thirds : float;
+  n_two_thirds_over_log2 : float;
+}
+
+let bound_of ~h ~n ~d_unweighted =
+  let p = Gadget.params_of_h ~h in
+  let q_sv = Approx_degree.q_sv_f ~s:p.Gadget.s ~ell:p.Gadget.ell in
+  let bandwidth = max 1 (Util.Int_math.ilog2_ceil (max 2 n)) in
+  let fl = Util.Int_math.log2f (float_of_int (max 2 n)) in
+  {
+    h;
+    n;
+    d_unweighted;
+    q_sv;
+    bandwidth;
+    t_lower = q_sv /. (float_of_int h *. float_of_int bandwidth);
+    n_two_thirds = float_of_int n ** (2.0 /. 3.0);
+    n_two_thirds_over_log2 = (float_of_int n ** (2.0 /. 3.0)) /. (fl *. fl);
+  }
+
+let bound_for ~h =
+  let p = Gadget.params_of_h ~h in
+  (* D_G analysis: crossing from a_i to b_i goes spoke + path + spoke,
+     with the tree shortcut of depth h; Θ(h) either way. *)
+  bound_of ~h ~n:p.Gadget.expected_n ~d_unweighted:(2 * (h + 2))
+
+let bound_measured ~h =
+  let p = Gadget.params_of_h ~h in
+  let s2 = Util.Int_math.pow 2 p.Gadget.s in
+  let input = Boolfun.input_forcing ~value:true ~s2 ~ell:p.Gadget.ell in
+  let gd = Gadget.build ~variant:Gadget.Diameter_gadget ~h ~input () in
+  let d_unweighted =
+    Graphlib.Dist.to_int_exn
+      (Graphlib.Bfs.diameter (Graphlib.Wgraph.with_unit_weights gd.Gadget.graph))
+  in
+  bound_of ~h ~n:(Graphlib.Wgraph.n gd.Gadget.graph) ~d_unweighted
+
+type verdict = {
+  bound : bound;
+  diameter_check : Contraction_check.gap_check;
+  radius_check : Contraction_check.gap_check;
+  schedule : Server_model.validity;
+  gaps_ok : bool;
+  distinguishes_at : float;
+}
+
+let verify ~h ~rng =
+  let p = Gadget.params_of_h ~h in
+  let s2 = Util.Int_math.pow 2 p.Gadget.s in
+  let ell = p.Gadget.ell in
+  (* Random inputs plus both forced values, so that each lemma is
+     exercised on both sides of the gap. *)
+  let check_diameter input =
+    Contraction_check.lemma_4_4 (Gadget.build ~variant:Gadget.Diameter_gadget ~h ~input ())
+  in
+  let check_radius input =
+    Contraction_check.lemma_4_9 (Gadget.build ~variant:Gadget.Radius_gadget ~h ~input ())
+  in
+  let random = Boolfun.random_input ~rng ~s2 ~ell ~p:0.7 in
+  let d_yes = check_diameter (Boolfun.input_forcing ~value:true ~s2 ~ell) in
+  let d_no = check_diameter (Boolfun.input_forcing ~value:false ~s2 ~ell) in
+  let d_rand = check_diameter random in
+  let r_yes = check_radius (Boolfun.input_forcing ~value:true ~s2 ~ell) in
+  let r_no = check_radius (Boolfun.input_forcing ~value:false ~s2 ~ell) in
+  let r_rand = check_radius random in
+  let gd = Gadget.build ~variant:Gadget.Diameter_gadget ~h ~input:random () in
+  let schedule =
+    Server_model.check_schedule gd ~rounds:(Server_model.max_simulation_rounds gd)
+  in
+  let gaps_ok =
+    List.for_all
+      (fun (c : Contraction_check.gap_check) -> c.Contraction_check.ok)
+      [ d_yes; d_no; d_rand; r_yes; r_no; r_rand ]
+  in
+  let b = bound_measured ~h in
+  {
+    bound = b;
+    diameter_check = d_rand;
+    radius_check = r_rand;
+    schedule;
+    gaps_ok = gaps_ok && schedule.Server_model.valid;
+    distinguishes_at = 0.25;
+  }

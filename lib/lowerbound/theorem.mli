@@ -1,0 +1,42 @@
+(** Theorems 4.2 / 4.8 end-to-end: the reduction chain and the numeric
+    lower bound [Ω̃(n^{2/3})].
+
+    The chain: a [T]-round [(3/2−ε)]-approximation of the weighted
+    diameter (radius) on the gadget would let Alice and Bob compute
+    [F] ([F']) in the quantum Server model with [O(T·h·B)]
+    communication (Lemma 4.1 + Lemma 4.4/4.9); but
+    [Q^{sv}_{1/12} = Ω(√(2^s·ℓ))] (Lemmas 4.5–4.7 / 4.10), so
+    [T = Ω(√(2^s·ℓ)/(h·B)) = Ω(2^h/(h·B)) = Ω̃(n^{2/3})]. *)
+
+type bound = {
+  h : int;
+  n : int;  (** Gadget size. *)
+  d_unweighted : int;  (** Should be [Θ(h) = Θ(log n)]. *)
+  q_sv : float;  (** [√(2^s·ℓ)/2]: the Server-model bound. *)
+  bandwidth : int;  (** [B = ⌈log₂ n⌉]. *)
+  t_lower : float;  (** [q_sv / (h·B)]: the round lower bound. *)
+  n_two_thirds : float;  (** [n^{2/3}] for comparison. *)
+  n_two_thirds_over_log2 : float;  (** [n^{2/3}/log²n], the stated form. *)
+}
+
+val bound_for : h:int -> bound
+(** Pure computation from Eq. (2) (no graph built); also usable at
+    sizes too large to instantiate. *)
+
+val bound_measured : h:int -> bound
+(** Same, but [n] and [D_G] measured on the actually-built diameter
+    gadget (checks the formula against the construction). *)
+
+type verdict = {
+  bound : bound;
+  diameter_check : Contraction_check.gap_check;
+  radius_check : Contraction_check.gap_check;
+  schedule : Server_model.validity;
+  gaps_ok : bool;
+  distinguishes_at : float;  (** Sample ε at which the reduction separates. *)
+}
+
+val verify : h:int -> rng:Util.Rng.t -> verdict
+(** Build both gadget variants on random and forced inputs, check the
+    Lemma 4.4/4.9 gaps exactly, validate the ownership schedule, and
+    compute the numeric bound. Feasible for [h ∈ {2, 4}]. *)

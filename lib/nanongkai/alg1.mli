@@ -1,0 +1,20 @@
+(** Algorithm 1: Bounded-Hop SSSP [(G, w, s, ℓ, ε)].
+
+    Runs one Algorithm-2 wavefront per weight scale [w_i] (Lemma 3.2)
+    in fixed-length phases, so that every node ends up knowing the
+    approximate bounded-hop distance [d̃^ℓ(s, v)]. Round complexity is
+    [num_scales × (hop_budget + 2) = Õ(ℓ/ε)] (Lemma A.1), and each node
+    broadcasts at most once per scale, i.e. [O(log n)] messages in
+    total — the property Algorithm 3 relies on.
+
+    Messages carry a (scale, scaled-distance) pair; both components are
+    [O(log n)]-bit quantities, so one CONGEST word. *)
+
+type output = {
+  dtilde : float array;  (** [d̃^ℓ(s, v)]; [Float.infinity] if no scale accepted. *)
+  trace : Congest.Engine.trace;
+  broadcasts_per_node : int array;
+      (** Messages each node originated (for the Lemma A.1 check). *)
+}
+
+val run : Graphlib.Wgraph.t -> src:int -> params:Graphlib.Reweight.params -> output

@@ -1,0 +1,16 @@
+(** Algorithm 2: Bounded-Distance SSSP [(G, w, s, L)].
+
+    The classic "weighted wavefront": a node whose tentative distance
+    equals the current round broadcasts it; after [L+1] rounds every
+    node knows its exact distance from [s] whenever that distance is at
+    most [L]. Messages carry one distance, i.e. one CONGEST word. *)
+
+type output = {
+  dist : Graphlib.Dist.t array;
+      (** [d_{G,w}(s, v)] when [<= L], else [Dist.inf]. *)
+  trace : Congest.Engine.trace;
+}
+
+val run : Graphlib.Wgraph.t -> src:int -> bound:int -> output
+(** Requires [0 <= src < n] and [bound >= 0]. The measured round count
+    is at most [bound + 1]. *)

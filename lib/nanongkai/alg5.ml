@@ -1,0 +1,86 @@
+type output = {
+  row : float array;
+  trace : Congest.Engine.trace;
+  overlay_rounds : int;
+  busy_rounds : int;
+}
+
+type token = { sender : int; scale : int; dist : int }
+
+let run g ~tree ~(overlay : Overlay.t) ~eps ~src_idx =
+  let b = Array.length overlay.Overlay.s_nodes in
+  if src_idx < 0 || src_idx >= b then invalid_arg "Alg5.run: bad source index";
+  let w2 = overlay.Overlay.w2 in
+  let ell' = max 1 (Util.Int_math.ceil_div (4 * b) overlay.Overlay.k) in
+  let params = { Graphlib.Reweight.ell = ell'; eps } in
+  let max_w2 =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun a x -> if x < Float.infinity && x > a then x else a) acc row)
+      1.0 w2
+  in
+  let cfg i =
+    Bh_instance.make_cfg ~params ~n:b
+      ~max_w:(max 1 (int_of_float (ceil max_w2)))
+      ~offset:0 ~is_source:(i = src_idx)
+  in
+  let states = Array.init b (fun i -> Bh_instance.init (cfg i)) in
+  let c0 = cfg 0 in
+  let total_rounds = c0.Bh_instance.num_scales * c0.Bh_instance.phase_len in
+  let n = Graphlib.Wgraph.n g in
+  (* Per-overlay-round synchronization: count-and-announce [a], an
+     O(D) convergecast + broadcast over the tree. Its message pattern
+     is independent of the payload, so we measure it once and charge
+     the same trace per overlay round. *)
+  let _, sync_trace =
+    Congest.Tree.convergecast g tree
+      ~values:(Array.make n 0)
+      ~combine:( + )
+      ~size_words:(fun _ -> 1)
+  in
+  let _, sync_trace2 = Congest.Tree.broadcast_tokens g tree ~tokens:[ 0 ] ~size_words:(fun _ -> 1) in
+  let sync = Congest.Engine.add_traces sync_trace sync_trace2 in
+  let total = ref Congest.Engine.empty_trace in
+  let busy = ref 0 in
+  let pending = ref [] in
+  for tau = 0 to total_rounds do
+    (* Deliver the previous overlay round's broadcasts. *)
+    List.iter
+      (fun { sender; scale; dist } ->
+        for i = 0 to b - 1 do
+          if i <> sender && w2.(sender).(i) < Float.infinity then begin
+            let scaled_w = Graphlib.Reweight.scaled_weight_f params ~i:scale ~w:w2.(sender).(i) in
+            states.(i) <- Bh_instance.on_message (cfg i) states.(i) ~round:tau ~scale ~dist ~scaled_w
+          end
+        done)
+      !pending;
+    pending := [];
+    (* Decide who speaks in this overlay round. *)
+    let speak = ref [] in
+    for i = 0 to b - 1 do
+      let st, effect = Bh_instance.decide (cfg i) states.(i) ~round:tau in
+      states.(i) <- st;
+      match effect.Bh_instance.broadcast with
+      | Some (scale, dist) -> speak := { sender = i; scale; dist } :: !speak
+      | None -> ()
+    done;
+    total := Congest.Engine.add_traces !total sync;
+    if !speak <> [] then begin
+      incr busy;
+      (* Physically broadcast the a messages network-wide. *)
+      let items = Array.make n [] in
+      List.iter
+        (fun tok ->
+          let v = overlay.Overlay.s_nodes.(tok.sender) in
+          items.(v) <- tok :: items.(v))
+        !speak;
+      let delivered, gtrace =
+        Congest.Tree.gather_broadcast g tree ~items ~compare ~size_words:(fun _ -> 1)
+      in
+      assert (List.length delivered = List.length !speak);
+      total := Congest.Engine.add_traces !total gtrace;
+      pending := !speak
+    end
+  done;
+  let row = Array.init b (fun i -> Bh_instance.finalize (cfg i) states.(i)) in
+  { row; trace = !total; overlay_rounds = total_rounds + 1; busy_rounds = !busy }

@@ -1,0 +1,52 @@
+(** The full approximate-distance pipeline for one sampled vertex set
+    [S] — the classical machinery underneath Lemma 3.5.
+
+    [initialize] runs Algorithms 3 and 4: afterwards every node [v]
+    knows [d̃^ℓ(u, v)] for every [u ∈ S], and the k-shortcut overlay is
+    embedded. This is the paper's [Initialization_i], with measured
+    cost [T₀ = Õ(D + ℓ/ε·(stretch) + rk)].
+
+    [eval_source] evaluates one [s ∈ S]: the leader collects [S]
+    ([O(D + r)]), Algorithm 5 computes the overlay row
+    ([Õ(r/(εk)·D + r)]) — together the paper's [Setup_i] with cost
+    [T₁] — and every node locally combines
+    [d̃_{G,w,S}(s,v) = min_{u∈S}(d̃^{4|S|/k}(s,u) + d̃^ℓ(u,v))], after
+    which a convergecast computes [ẽ(s) = max_v d̃_{G,w,S}(s,v)] in
+    [O(D)] rounds — the paper's [Evaluation_i] with cost [T₂]. *)
+
+type ctx = {
+  g : Graphlib.Wgraph.t;
+  tree : Congest.Tree.t;
+  params : Graphlib.Reweight.params;
+  k : int;
+  rng : Util.Rng.t;
+}
+
+type embedded = {
+  ctx : ctx;
+  s_nodes : int array;
+  dtilde_ell : float array array;  (** [b×n]: [d̃^ℓ(s_j, v)]. *)
+  overlay : Overlay.t;
+  init_trace : Congest.Engine.trace;
+  init_rounds : int;  (** [T₀], including the Algorithm-3 stretch. *)
+  congestion_ok : bool;
+}
+
+val initialize : ctx -> s:int list -> embedded
+(** Runs Algorithm 3 then Algorithm 4 on the set [S] (non-empty,
+    distinct nodes). *)
+
+type source_eval = {
+  s : int;
+  s_idx : int;
+  approx_dist : float array;  (** [d̃_{G,w,S}(s, ·)] over all of [V]. *)
+  approx_ecc : float;  (** [ẽ_{G,w,S}(s)]. *)
+  setup_trace : Congest.Engine.trace;  (** [T₁]. *)
+  eval_trace : Congest.Engine.trace;  (** [T₂]. *)
+}
+
+val eval_source : embedded -> s_idx:int -> source_eval
+
+val eval_all : embedded -> source_eval array
+(** Classical exhaustive evaluation of every source (the reference the
+    quantum search is compared against; costs [b × (T₁ + T₂)]). *)

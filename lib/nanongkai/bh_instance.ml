@@ -1,0 +1,114 @@
+type cfg = {
+  params : Graphlib.Reweight.params;
+  budget : int;
+  phase_len : int;
+  num_scales : int;
+  offset : int;
+  is_source : bool;
+}
+
+let make_cfg ~params ~n ~max_w ~offset ~is_source =
+  let budget = Graphlib.Reweight.hop_budget params in
+  {
+    params;
+    budget;
+    (* +2: a message sent at local round [budget] lands at [budget+1],
+       still inside the phase, so phases never bleed into each other. *)
+    phase_len = budget + 2;
+    num_scales = Graphlib.Reweight.num_scales ~n ~max_w ~eps:params.eps;
+    offset;
+    is_source;
+  }
+
+type state = {
+  scale : int;
+  dist : Graphlib.Dist.t;
+  broadcasted : bool;
+  best : float;
+}
+
+let init cfg =
+  {
+    scale = 0;
+    dist = (if cfg.is_source then 0 else Graphlib.Dist.inf);
+    broadcasted = false;
+    best = Float.infinity;
+  }
+
+let initial_wakes cfg =
+  if not cfg.is_source then []
+  else
+    (* The source opens every scale phase by broadcasting distance 0.
+       Wake round 0 is implicit (init runs then), so skip offsets <= 0. *)
+    List.filter_map
+      (fun s ->
+        let r = cfg.offset + (s * cfg.phase_len) in
+        if r > 0 then Some r else None)
+      (List.init cfg.num_scales (fun s -> s))
+
+type effect = {
+  broadcast : (int * int) option;
+  wake : int option;
+}
+
+let no_effect = { broadcast = None; wake = None }
+
+let unscale cfg ~scale d =
+  float_of_int d
+  *. cfg.params.Graphlib.Reweight.eps
+  *. float_of_int (Util.Int_math.pow 2 scale)
+  /. (2.0 *. float_of_int cfg.params.Graphlib.Reweight.ell)
+
+let fold_scale cfg st =
+  if Graphlib.Dist.is_finite st.dist && st.dist <= cfg.budget then
+    { st with best = Float.min st.best (unscale cfg ~scale:st.scale st.dist) }
+  else st
+
+let rollover cfg st ~target =
+  if target <= st.scale then st
+  else
+    let st = fold_scale cfg st in
+    {
+      st with
+      scale = target;
+      dist = (if cfg.is_source then 0 else Graphlib.Dist.inf);
+      broadcasted = false;
+    }
+
+let local_round cfg ~round = round - cfg.offset
+
+let target_scale cfg lr = min (cfg.num_scales - 1) (lr / cfg.phase_len)
+
+let on_message cfg st ~round ~scale ~dist ~scaled_w =
+  let lr = local_round cfg ~round in
+  if lr < 0 then st
+  else begin
+    let st = rollover cfg st ~target:(target_scale cfg lr) in
+    if scale <> st.scale then st (* stale message from a finished phase *)
+    else begin
+      let cand = Graphlib.Dist.add dist scaled_w in
+      if cand <= cfg.budget && Graphlib.Dist.compare cand st.dist < 0 then
+        { st with dist = cand }
+      else st
+    end
+  end
+
+let decide cfg st ~round =
+  let lr = local_round cfg ~round in
+  if lr < 0 then (st, no_effect)
+  else begin
+    let st = rollover cfg st ~target:(target_scale cfg lr) in
+    let rho = lr - (st.scale * cfg.phase_len) in
+    if Graphlib.Dist.is_finite st.dist && st.dist <= cfg.budget && not st.broadcasted then begin
+      if st.dist = rho then
+        ({ st with broadcasted = true }, { broadcast = Some (st.scale, st.dist); wake = None })
+      else if st.dist > rho then
+        (st, { broadcast = None; wake = Some (cfg.offset + (st.scale * cfg.phase_len) + st.dist) })
+      else (st, no_effect) (* unreachable: candidates never undercut the clock *)
+    end
+    else (st, no_effect)
+  end
+
+let finalize cfg st = (fold_scale cfg st).best
+
+let current_scale st = st.scale

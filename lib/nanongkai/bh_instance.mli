@@ -1,0 +1,61 @@
+(** Node-local state machine for one bounded-hop SSSP instance
+    (the per-node logic shared by Algorithm 1 and the concurrent
+    instances inside Algorithm 3).
+
+    One instance computes [d̃^ℓ(s, ·)] for a single source [s] by
+    running, for each weight scale [i], an Algorithm-2 wavefront in a
+    dedicated phase of [phase_len = hop_budget + 2] rounds. The
+    instance is shifted in time by [offset] (Algorithm 3's random
+    delay). All round arithmetic here is in the instance's own clock
+    ([global round - offset]).
+
+    The surrounding protocol adapter translates engine activations into
+    {!on_message} / {!on_wake} calls and performs the sends. *)
+
+type cfg = {
+  params : Graphlib.Reweight.params;
+  budget : int;  (** Acceptance bound [⌈(1+2/ε)ℓ⌉] = Algorithm 2's [L]. *)
+  phase_len : int;  (** [budget + 2] rounds per scale. *)
+  num_scales : int;
+  offset : int;  (** Global round at which the instance starts. *)
+  is_source : bool;
+}
+
+val make_cfg :
+  params:Graphlib.Reweight.params -> n:int -> max_w:int -> offset:int -> is_source:bool -> cfg
+
+type state
+
+val init : cfg -> state
+
+val initial_wakes : cfg -> int list
+(** Global wake rounds the node must request at protocol init:
+    the source wakes at every phase base; non-sources are purely
+    reactive. *)
+
+type effect = {
+  broadcast : (int * int) option;
+      (** [(scale, dist)] to send to every neighbor right now. *)
+  wake : int option;  (** Global round to request. *)
+}
+
+val no_effect : effect
+
+val on_message :
+  cfg -> state -> round:int -> scale:int -> dist:int -> scaled_w:int -> state
+(** Fold one received message: [dist] is the sender's scaled distance
+    at [scale]; [scaled_w] is the receiving edge's weight under the
+    scale-[scale] reweighting [w_i] (the adapter computes it from the
+    edge's base weight, which may be an integer for network edges or a
+    real for overlay edges). *)
+
+val decide : cfg -> state -> round:int -> state * effect
+(** After folding the round's messages (and/or on a wake), decide
+    whether to broadcast now or schedule a wake. Also performs lazy
+    scale rollover. *)
+
+val finalize : cfg -> state -> float
+(** Fold the last scale and return [d̃^ℓ(s, v)] for this node
+    ([Float.infinity] if no scale accepted). Call after the run. *)
+
+val current_scale : state -> int

@@ -1,0 +1,71 @@
+type estimate = {
+  theta : float;
+  amplitude : float;
+  oracle_calls : int;
+  measurements : int;
+}
+
+let log_likelihood ~schedule theta =
+  List.fold_left
+    (fun acc (m, hits, shots) ->
+      let angle = float_of_int ((2 * m) + 1) *. theta in
+      let p = Float.max 1e-12 (Float.min (1.0 -. 1e-12) (sin angle ** 2.0)) in
+      acc
+      +. (float_of_int hits *. log p)
+      +. (float_of_int (shots - hits) *. log (1.0 -. p)))
+    0.0 schedule
+
+let maximize_likelihood ~schedule =
+  (* Coarse grid over (0, π/2), then two rounds of local refinement —
+     the likelihood is smooth and the grid is fine enough to land in
+     the right basin for the schedules we use. *)
+  let best = ref (1e-4, log_likelihood ~schedule 1e-4) in
+  let scan lo hi steps =
+    for i = 0 to steps do
+      let theta = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+      if theta > 1e-6 && theta < (Float.pi /. 2.0) -. 1e-6 then begin
+        let ll = log_likelihood ~schedule theta in
+        if ll > snd !best then best := (theta, ll)
+      end
+    done
+  in
+  scan 0.0 (Float.pi /. 2.0) 4000;
+  let t0 = fst !best in
+  scan (t0 -. 0.001) (t0 +. 0.001) 400;
+  let t1 = fst !best in
+  scan (t1 -. 0.00002) (t1 +. 0.00002) 400;
+  fst !best
+
+let mle_qae ~rng ~init ~marked ?(shots = 32) ?(max_power = 5) () =
+  if shots < 1 || max_power < 1 then invalid_arg "Counting.mle_qae";
+  let powers = 0 :: List.init (max_power - 1) (fun k -> Util.Int_math.pow 2 k) in
+  let oracle_calls = ref 0 and measurements = ref 0 in
+  let schedule =
+    List.map
+      (fun m ->
+        let final = Grover.run ~init ~marked ~iterations:m in
+        let hits = ref 0 in
+        for _ = 1 to shots do
+          incr measurements;
+          oracle_calls := !oracle_calls + m;
+          if marked (State.measure final ~rng) then incr hits
+        done;
+        (m, !hits, shots))
+      powers
+  in
+  let theta = maximize_likelihood ~schedule in
+  { theta; amplitude = sin theta ** 2.0; oracle_calls = !oracle_calls; measurements = !measurements }
+
+let classical_estimate ~rng ~init ~marked ~samples =
+  if samples < 1 then invalid_arg "Counting.classical_estimate";
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if marked (State.measure init ~rng) then incr hits
+  done;
+  let amplitude = float_of_int !hits /. float_of_int samples in
+  {
+    theta = asin (sqrt (Float.max 0.0 (Float.min 1.0 amplitude)));
+    amplitude;
+    oracle_calls = samples;
+    measurements = samples;
+  }

@@ -1,0 +1,36 @@
+let phase_flip t ~marked =
+  State.map_amplitudes t ~f:(fun i c -> if marked i then Complex.neg c else c)
+
+let reflect_about t ~axis =
+  if State.dim t <> State.dim axis then invalid_arg "Grover.reflect_about";
+  (* 2|a⟩⟨a|t⟩ - |t⟩ *)
+  let dot = ref Complex.zero in
+  for i = 0 to State.dim t - 1 do
+    dot :=
+      Complex.add !dot (Complex.mul (Complex.conj (State.amplitude axis i)) (State.amplitude t i))
+  done;
+  let two_dot = Complex.mul { Complex.re = 2.0; im = 0.0 } !dot in
+  State.map_amplitudes t ~f:(fun i c ->
+      Complex.sub (Complex.mul two_dot (State.amplitude axis i)) c)
+
+let iterate t ~init ~marked = reflect_about (phase_flip t ~marked) ~axis:init
+
+let run ~init ~marked ~iterations =
+  if iterations < 0 then invalid_arg "Grover.run";
+  let rec go t j = if j = 0 then t else go (iterate t ~init ~marked) (j - 1) in
+  go (State.copy init) iterations
+
+let success_probability_closed_form ~rho ~iterations =
+  if rho < 0.0 || rho > 1.0 then invalid_arg "Grover.success_probability_closed_form";
+  if rho = 0.0 then 0.0
+  else begin
+    let theta = asin (sqrt rho) in
+    sin ((float_of_int ((2 * iterations) + 1)) *. theta) ** 2.0
+  end
+
+let optimal_iterations ~rho =
+  if rho <= 0.0 then 0
+  else begin
+    let theta = asin (sqrt (min 1.0 rho)) in
+    max 0 (int_of_float (floor (Float.pi /. 4.0 /. theta)))
+  end

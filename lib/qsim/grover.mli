@@ -1,0 +1,24 @@
+(** Grover's search: oracle + diffusion, on the real state vector.
+
+    The diffusion operator reflects about the *initial* superposition
+    (uniform or weighted), which is the amplitude-amplification setting
+    of Lemma 3.1: the Setup procedure prepares an arbitrary weighted
+    superposition and the algorithm amplifies the marked part. *)
+
+val phase_flip : State.t -> marked:(int -> bool) -> State.t
+(** The oracle [O : |x⟩ ↦ (-1)^{marked x}|x⟩]. *)
+
+val reflect_about : State.t -> axis:State.t -> State.t
+(** [2|ψ⟩⟨ψ| - I] applied to the state. *)
+
+val iterate : State.t -> init:State.t -> marked:(int -> bool) -> State.t
+(** One amplification step: oracle then reflection about [init]. *)
+
+val run : init:State.t -> marked:(int -> bool) -> iterations:int -> State.t
+
+val success_probability_closed_form : rho:float -> iterations:int -> float
+(** [sin²((2j+1)·asin(√ρ))]: the closed form the [dqo] library samples
+    from; tests check it against {!run} + {!State.mass}. *)
+
+val optimal_iterations : rho:float -> int
+(** [⌊(π/4)/asin(√ρ)⌋] (at least 0); maximizes the closed form. *)

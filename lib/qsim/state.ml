@@ -1,0 +1,56 @@
+type t = Complex.t array
+
+let dim = Array.length
+
+let uniform n =
+  if n < 1 then invalid_arg "State.uniform";
+  let a = 1.0 /. sqrt (float_of_int n) in
+  Array.make n { Complex.re = a; im = 0.0 }
+
+let of_weights w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0.0 then invalid_arg "State.of_weights: non-positive total";
+  Array.map
+    (fun x ->
+      if x < 0.0 then invalid_arg "State.of_weights: negative weight";
+      { Complex.re = sqrt (x /. total); im = 0.0 })
+    w
+
+let amplitude t i = t.(i)
+
+let probability t i = Complex.norm2 t.(i)
+
+let probabilities t = Array.map Complex.norm2 t
+
+let norm t = sqrt (Array.fold_left (fun acc c -> acc +. Complex.norm2 c) 0.0 t)
+
+let measure t ~rng =
+  let r = Util.Rng.float rng 1.0 in
+  let acc = ref 0.0 in
+  let result = ref (dim t - 1) in
+  (try
+     Array.iteri
+       (fun i c ->
+         acc := !acc +. Complex.norm2 c;
+         if !acc >= r then begin
+           result := i;
+           raise Exit
+         end)
+       t
+   with Exit -> ());
+  !result
+
+let mass t ~marked =
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> if marked i then acc := !acc +. Complex.norm2 c) t;
+  !acc
+
+let copy = Array.copy
+
+let map_amplitudes t ~f = Array.mapi f t
+
+let fidelity a b =
+  if dim a <> dim b then invalid_arg "State.fidelity";
+  let dot = ref Complex.zero in
+  Array.iteri (fun i ca -> dot := Complex.add !dot (Complex.mul (Complex.conj ca) b.(i))) a;
+  Complex.norm2 !dot

@@ -1,0 +1,41 @@
+(** State vectors over an [N]-element search space.
+
+    Grover search only ever needs the span of the uniform/weighted
+    superposition and the marked subspace, so we keep a full complex
+    amplitude vector over the [N] basis states (no qubit tensor
+    structure required — [N] need not be a power of two). This is the
+    ground-truth quantum simulator used to validate the closed-form
+    outcome model in [lib/dqo]. *)
+
+type t
+
+val dim : t -> int
+
+val uniform : int -> t
+(** The uniform superposition over [N >= 1] basis states. *)
+
+val of_weights : float array -> t
+(** Superposition with amplitudes [√(w_x / Σw)]; weights must be
+    non-negative with positive sum. *)
+
+val amplitude : t -> int -> Complex.t
+val probability : t -> int -> float
+val probabilities : t -> float array
+
+val norm : t -> float
+(** L2 norm (should stay 1 up to rounding). *)
+
+val measure : t -> rng:Util.Rng.t -> int
+(** Sample a basis state from the Born distribution. *)
+
+val mass : t -> marked:(int -> bool) -> float
+(** Total probability of the marked states. *)
+
+val copy : t -> t
+
+val map_amplitudes : t -> f:(int -> Complex.t -> Complex.t) -> t
+(** A new state with transformed amplitudes (not renormalized — the
+    caller applies unitaries only). *)
+
+val fidelity : t -> t -> float
+(** |⟨a|b⟩|². *)

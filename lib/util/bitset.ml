@@ -1,0 +1,50 @@
+type t = { n : int; words : Bytes.t }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { n; words = Bytes.make ((n / 8) + 1) '\000' }
+
+let capacity t = t.n
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Bitset: out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let cardinal t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if mem t i then incr c
+  done;
+  !c
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t
+
+let copy t = { n = t.n; words = Bytes.copy t.words }
+let equal a b = a.n = b.n && Bytes.equal a.words b.words

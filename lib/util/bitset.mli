@@ -1,0 +1,23 @@
+(** Fixed-capacity mutable sets of small non-negative integers, packed
+    into words. Used for vertex sets ([S_i] membership tests sit on the
+    hot path of the eccentricity pipeline). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [[0, n-1]]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elems] builds a set over universe [[0, n-1]]. *)
+
+val copy : t -> t
+val equal : t -> t -> bool

@@ -1,0 +1,60 @@
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Int_math.ceil_div";
+  (a + b - 1) / b
+
+let pow b e =
+  if e < 0 then invalid_arg "Int_math.pow";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let ilog2 n =
+  if n < 1 then invalid_arg "Int_math.ilog2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n asr 1) in
+  go 0 n
+
+let ilog2_ceil n =
+  if n < 1 then invalid_arg "Int_math.ilog2_ceil";
+  let f = ilog2 n in
+  if pow 2 f = n then f else f + 1
+
+let isqrt n =
+  if n < 0 then invalid_arg "Int_math.isqrt";
+  if n = 0 then 0
+  else begin
+    (* Newton iteration on integers; converges from above. *)
+    let x = ref (max 1 (int_of_float (sqrt (float_of_int n)))) in
+    (* Correct possible float inaccuracy in both directions. *)
+    while !x * !x > n do
+      decr x
+    done;
+    while (!x + 1) * (!x + 1) <= n do
+      incr x
+    done;
+    !x
+  end
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Int_math.clamp";
+  if x < lo then lo else if x > hi then hi else x
+
+let fclamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Int_math.fclamp";
+  if x < lo then lo else if x > hi then hi else x
+
+let sum = List.fold_left ( + ) 0
+
+let max_list = function
+  | [] -> invalid_arg "Int_math.max_list"
+  | x :: rest -> List.fold_left max x rest
+
+let min_list = function
+  | [] -> invalid_arg "Int_math.min_list"
+  | x :: rest -> List.fold_left min x rest
+
+let log2f x = log x /. log 2.0
+
+let round_to_even n = if n mod 2 = 0 then n else n + 1

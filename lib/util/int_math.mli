@@ -1,0 +1,44 @@
+(** Small integer-math helpers used throughout the code base.
+
+    All functions operate on native [int]s. Functions that are only
+    meaningful on non-negative arguments say so and raise
+    [Invalid_argument] otherwise. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a/b⌉] for [a >= 0], [b > 0]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b^e] for [e >= 0]. Overflows silently like native
+    multiplication. *)
+
+val ilog2 : int -> int
+(** [ilog2 n] is [⌊log₂ n⌋] for [n >= 1]. *)
+
+val ilog2_ceil : int -> int
+(** [ilog2_ceil n] is [⌈log₂ n⌉] for [n >= 1]; the smallest [e] with
+    [2^e >= n]. *)
+
+val isqrt : int -> int
+(** [isqrt n] is [⌊√n⌋] for [n >= 0]. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] restricts [x] to the closed interval [[lo, hi]].
+    Requires [lo <= hi]. *)
+
+val fclamp : lo:float -> hi:float -> float -> float
+(** Float counterpart of {!clamp}. *)
+
+val sum : int list -> int
+
+val max_list : int list -> int
+(** Raises [Invalid_argument] on the empty list. *)
+
+val min_list : int list -> int
+(** Raises [Invalid_argument] on the empty list. *)
+
+val log2f : float -> float
+(** Base-2 logarithm on floats. *)
+
+val round_to_even : int -> int
+(** Smallest even integer [>= n] (used for the gadget height [h],
+    which the paper requires to be even). *)

@@ -1,0 +1,210 @@
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Infeasible
+
+let eps = 1e-9
+
+(* Primal simplex on an explicit tableau with Bland's anti-cycling
+   rule. The tableau has one row per constraint plus an objective row;
+   columns: structural variables, slacks, artificials, RHS. *)
+let solve ~c ~a ~b =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Lp.solve: b length";
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Lp.solve: row length") a;
+  (* Normalize to b >= 0 by flipping rows. After flipping, each row has
+     a slack with coefficient +1 or -1; rows whose slack is -1 need an
+     artificial basis variable. *)
+  let sign = Array.init m (fun i -> if b.(i) < 0.0 then -1.0 else 1.0) in
+  let needs_artificial = Array.init m (fun i -> sign.(i) < 0.0) in
+  let num_art = Array.fold_left (fun acc f -> if f then acc + 1 else acc) 0 needs_artificial in
+  let total = n + m + num_art in
+  (* tableau.(i): coefficients (length total) and rhs. *)
+  let tab = Array.make_matrix m (total + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let art_index = ref 0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      tab.(i).(j) <- sign.(i) *. a.(i).(j)
+    done;
+    tab.(i).(n + i) <- sign.(i) (* slack *);
+    tab.(i).(total) <- sign.(i) *. b.(i);
+    if needs_artificial.(i) then begin
+      let aj = n + m + !art_index in
+      incr art_index;
+      tab.(i).(aj) <- 1.0;
+      basis.(i) <- aj
+    end
+    else basis.(i) <- n + i
+  done;
+  let pivot ~row ~col =
+    let p = tab.(row).(col) in
+    for j = 0 to total do
+      tab.(row).(j) <- tab.(row).(j) /. p
+    done;
+    for i = 0 to m - 1 do
+      if i <> row && abs_float tab.(i).(col) > 0.0 then begin
+        let f = tab.(i).(col) in
+        for j = 0 to total do
+          tab.(i).(j) <- tab.(i).(j) -. (f *. tab.(row).(j))
+        done
+      end
+    done;
+    basis.(row) <- col
+  in
+  (* Run simplex on a given objective vector (length total). Returns
+     `Done (objective value) or `Unbounded. The reduced costs are
+     recomputed each iteration (dense; fine at this scale). *)
+  let run_simplex obj =
+    let reduced = Array.make total 0.0 in
+    let rec iterate guard =
+      if guard > 20_000 then failwith "Lp.solve: iteration guard";
+      (* y_j = obj_j - sum_i obj_basis(i) * tab(i)(j) *)
+      for j = 0 to total - 1 do
+        let acc = ref obj.(j) in
+        for i = 0 to m - 1 do
+          let ob = obj.(basis.(i)) in
+          if ob <> 0.0 then acc := !acc -. (ob *. tab.(i).(j))
+        done;
+        reduced.(j) <- !acc
+      done;
+      (* Bland: smallest index with negative reduced cost. *)
+      let entering = ref (-1) in
+      (try
+         for j = 0 to total - 1 do
+           if reduced.(j) < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Done
+      else begin
+        let col = !entering in
+        (* Ratio test with Bland tie-break on basis index. *)
+        let leave = ref (-1) in
+        let best = ref Float.infinity in
+        for i = 0 to m - 1 do
+          if tab.(i).(col) > eps then begin
+            let ratio = tab.(i).(total) /. tab.(i).(col) in
+            if
+              ratio < !best -. eps
+              || (abs_float (ratio -. !best) <= eps && (!leave < 0 || basis.(i) < basis.(!leave)))
+            then begin
+              best := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          pivot ~row:!leave ~col;
+          iterate (guard + 1)
+        end
+      end
+    in
+    iterate 0
+  in
+  let objective_value obj =
+    let acc = ref 0.0 in
+    for i = 0 to m - 1 do
+      acc := !acc +. (obj.(basis.(i)) *. tab.(i).(total))
+    done;
+    !acc
+  in
+  (* Phase 1: drive artificials out. *)
+  let feasible =
+    if num_art = 0 then true
+    else begin
+      let obj1 = Array.make total 0.0 in
+      for j = n + m to total - 1 do
+        obj1.(j) <- 1.0
+      done;
+      match run_simplex obj1 with
+      | `Unbounded -> false (* cannot happen for phase 1, defensive *)
+      | `Done ->
+        if objective_value obj1 > 1e-7 then false
+        else begin
+          (* Pivot any artificial still in the basis out (degenerate). *)
+          for i = 0 to m - 1 do
+            if basis.(i) >= n + m then begin
+              let found = ref (-1) in
+              for j = n + m - 1 downto 0 do
+                if abs_float tab.(i).(j) > eps then found := j
+              done;
+              if !found >= 0 then pivot ~row:i ~col:!found
+            end
+          done;
+          true
+        end
+    end
+  in
+  if not feasible then Infeasible
+  else begin
+    let obj2 = Array.make total 0.0 in
+    Array.blit c 0 obj2 0 n;
+    (* Forbid artificials from re-entering. *)
+    for j = n + m to total - 1 do
+      obj2.(j) <- 1e12
+    done;
+    match run_simplex obj2 with
+    | `Unbounded -> Unbounded
+    | `Done ->
+      let solution = Array.make n 0.0 in
+      for i = 0 to m - 1 do
+        if basis.(i) < n then solution.(basis.(i)) <- tab.(i).(total)
+      done;
+      Optimal { objective = objective_value obj2; solution }
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let rescale ~lo ~hi x =
+  if hi <= lo then 0.0 else (2.0 *. (x -. lo) /. (hi -. lo)) -. 1.0
+
+let minimax_fit ~degree ~points =
+  if degree < 0 then invalid_arg "Lp.minimax_fit: degree";
+  if points = [] then invalid_arg "Lp.minimax_fit: no points";
+  let xs = List.map fst points in
+  let lo = List.fold_left min (List.hd xs) xs and hi = List.fold_left max (List.hd xs) xs in
+  let dim = degree + 1 in
+  (* Variables: c_j = cp_j - cm_j (split into nonnegatives), then eps.
+     Minimize eps s.t. for each point: p(x) - y <= eps, y - p(x) <= eps. *)
+  let nvars = (2 * dim) + 1 in
+  let powers x = Array.init dim (fun j -> rescale ~lo ~hi x ** float_of_int j) in
+  let rows = ref [] and rhs = ref [] in
+  List.iter
+    (fun (x, y) ->
+      let pw = powers x in
+      let row_plus = Array.make nvars 0.0 in
+      let row_minus = Array.make nvars 0.0 in
+      for j = 0 to dim - 1 do
+        row_plus.(j) <- pw.(j);
+        row_plus.(dim + j) <- -.pw.(j);
+        row_minus.(j) <- -.pw.(j);
+        row_minus.(dim + j) <- pw.(j)
+      done;
+      row_plus.(2 * dim) <- -1.0;
+      row_minus.(2 * dim) <- -1.0;
+      rows := row_minus :: row_plus :: !rows;
+      rhs := -.y :: y :: !rhs)
+    points;
+  let c = Array.make nvars 0.0 in
+  c.(2 * dim) <- 1.0;
+  match solve ~c ~a:(Array.of_list (List.rev !rows)) ~b:(Array.of_list (List.rev !rhs)) with
+  | Optimal { objective; solution } ->
+    let coeffs = Array.init dim (fun j -> solution.(j) -. solution.(dim + j)) in
+    (objective, coeffs)
+  | Unbounded | Infeasible ->
+    (* Cannot happen: eps large enough is always feasible and the
+       objective is bounded below by 0. *)
+    failwith "Lp.minimax_fit: solver failure"
+
+let eval_minimax ~coeffs ~lo ~hi x =
+  let t = rescale ~lo ~hi x in
+  let acc = ref 0.0 in
+  for j = Array.length coeffs - 1 downto 0 do
+    acc := (!acc *. t) +. coeffs.(j)
+  done;
+  !acc

@@ -1,0 +1,29 @@
+(** A small dense linear-programming solver (two-phase primal simplex
+    with Bland's rule).
+
+    Solves [minimize c·x subject to A·x <= b, x >= 0]. Intended for the
+    tiny, well-conditioned programs this code base needs — notably the
+    minimax polynomial-approximation LPs behind exact approximate-degree
+    computation (Lemma 4.6's quantities). Dimensions beyond a few
+    hundred are out of scope. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Infeasible
+
+val solve : c:float array -> a:float array array -> b:float array -> result
+(** [solve ~c ~a ~b]: [a] is an [m×n] matrix, [b] length [m], [c]
+    length [n]. Raises [Invalid_argument] on dimension mismatch. *)
+
+val minimax_fit :
+  degree:int -> points:(float * float) list -> float * float array
+(** Best uniform (Chebyshev-norm) approximation of the data by a
+    polynomial of the given degree: returns [(ε*, coeffs)] with
+    [coeffs] in the monomial basis of a rescaled domain — specifically
+    the affine image of the x-range onto [[-1, 1]] for conditioning —
+    such that [max_i |p(x_i) - y_i| = ε*]. Built on {!solve}. *)
+
+val eval_minimax : coeffs:float array -> lo:float -> hi:float -> float -> float
+(** Evaluate a {!minimax_fit} polynomial at a point of the original
+    domain [[lo, hi]] (the range of the fitted x's). *)

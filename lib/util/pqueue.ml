@@ -1,0 +1,86 @@
+type 'p t = {
+  compare : 'p -> 'p -> int;
+  mutable heap : (int * 'p) array; (* (key, prio), 0-based binary heap *)
+  mutable len : int;
+  pos : int array; (* key -> heap index, or -1 *)
+}
+
+let create ~n ~compare = { compare; heap = [||]; len = 0; pos = Array.make (max 1 n) (-1) }
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let mem t key = key >= 0 && key < Array.length t.pos && t.pos.(key) >= 0
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(fst b) <- i;
+  t.pos.(fst a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare (snd t.heap.(i)) (snd t.heap.(parent)) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.compare (snd t.heap.(l)) (snd t.heap.(!smallest)) < 0 then smallest := l;
+  if r < t.len && t.compare (snd t.heap.(r)) (snd t.heap.(!smallest)) < 0 then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t elem =
+  let cap = Array.length t.heap in
+  if t.len = cap then begin
+    let heap' = Array.make (max 4 (2 * cap)) elem in
+    Array.blit t.heap 0 heap' 0 t.len;
+    t.heap <- heap'
+  end
+
+let insert t ~key ~prio =
+  if mem t key then invalid_arg "Pqueue.insert: key present";
+  if key < 0 || key >= Array.length t.pos then invalid_arg "Pqueue.insert: key out of range";
+  grow t (key, prio);
+  t.heap.(t.len) <- (key, prio);
+  t.pos.(key) <- t.len;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let decrease t ~key ~prio =
+  if not (mem t key) then invalid_arg "Pqueue.decrease: key absent";
+  let i = t.pos.(key) in
+  if t.compare prio (snd t.heap.(i)) > 0 then invalid_arg "Pqueue.decrease: larger priority";
+  t.heap.(i) <- (key, prio);
+  sift_up t i
+
+let insert_or_decrease t ~key ~prio =
+  if not (mem t key) then insert t ~key ~prio
+  else begin
+    let i = t.pos.(key) in
+    if t.compare prio (snd t.heap.(i)) < 0 then decrease t ~key ~prio
+  end
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let (key, prio) = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.pos.(key) <- -1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      t.pos.(fst t.heap.(0)) <- 0;
+      sift_down t 0
+    end;
+    Some (key, prio)
+  end
+
+let priority t key = if mem t key then Some (snd t.heap.(t.pos.(key))) else None

@@ -1,0 +1,34 @@
+(** Minimum priority queue over integer keys with integer priorities.
+
+    A binary heap with a decrease-key operation, sized for Dijkstra-style
+    use: keys are node identifiers in [[0, n-1]] and each key is present
+    at most once. Priorities are compared with a user-supplied total
+    order so lexicographic (distance, hops) priorities also fit. *)
+
+type 'p t
+
+val create : n:int -> compare:('p -> 'p -> int) -> 'p t
+(** Empty queue accepting keys in [[0, n-1]]. *)
+
+val is_empty : _ t -> bool
+val size : _ t -> int
+
+val mem : _ t -> int -> bool
+(** Whether the key is currently in the queue. *)
+
+val insert : 'p t -> key:int -> prio:'p -> unit
+(** Raises [Invalid_argument] if the key is already present. *)
+
+val decrease : 'p t -> key:int -> prio:'p -> unit
+(** Lower the priority of a present key. Raises [Invalid_argument] if
+    the key is absent or the new priority is larger. *)
+
+val insert_or_decrease : 'p t -> key:int -> prio:'p -> unit
+(** Insert the key, or decrease its priority if already present with a
+    larger one; no-op if present with a smaller-or-equal priority. *)
+
+val pop_min : 'p t -> (int * 'p) option
+(** Remove and return the (key, priority) pair with minimal priority. *)
+
+val priority : 'p t -> int -> 'p option
+(** Current priority of a key, if present. *)

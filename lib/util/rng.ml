@@ -1,0 +1,52 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bd1e995 |]
+
+let split t =
+  let a = Random.State.bits t and b = Random.State.bits t in
+  Random.State.make [| a; b; a lxor (b lsl 7) |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Random.State.int t bound
+
+let int_in t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+
+let bool t = Random.State.bool t
+
+let bernoulli t ~p =
+  if p <= 0.0 then false else if p >= 1.0 then true else Random.State.float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose";
+  a.(Random.State.int t (Array.length a))
+
+let sample_without_replacement t ~k ~n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: k draws, O(k) expected set operations. *)
+  let module S = Set.Make (Int) in
+  let s = ref S.empty in
+  for j = n - k to n - 1 do
+    let r = Random.State.int t (j + 1) in
+    if S.mem r !s then s := S.add j !s else s := S.add r !s
+  done;
+  S.elements !s
+
+let subset_bernoulli t ~n ~p =
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if bernoulli t ~p then acc := v :: !acc
+  done;
+  !acc

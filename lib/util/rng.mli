@@ -1,0 +1,43 @@
+(** Deterministic, seedable randomness for reproducible experiments.
+
+    A thin wrapper around [Random.State] with the sampling helpers the
+    algorithms need. Every experiment takes an explicit [Rng.t] so runs
+    are replayable from a seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator from an integer seed. *)
+
+val split : t -> t
+(** Derive an independent generator (for running sub-experiments whose
+    draws must not perturb the parent stream). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound-1]]; requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the closed interval [[lo, hi]]. *)
+
+val float : t -> float -> float
+(** Uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** [true] with probability [p] (clamped to [0,1]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int list
+(** [k] distinct values uniform from [[0, n-1]], in increasing order.
+    Requires [0 <= k <= n]. *)
+
+val subset_bernoulli : t -> n:int -> p:float -> int list
+(** Each of [0..n-1] included independently with probability [p];
+    result in increasing order. This is exactly how the paper samples
+    the vertex sets [S_i]. *)

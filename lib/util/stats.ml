@@ -1,0 +1,67 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] -> invalid_arg "Stats.stddev"
+  | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let sorted xs = List.sort compare xs
+
+let median xs =
+  match sorted xs with
+  | [] -> invalid_arg "Stats.median"
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let percentile xs ~p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  match sorted xs with
+  | [] -> invalid_arg "Stats.percentile"
+  | s ->
+    let a = Array.of_list s in
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(Int_math.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
+
+let minf = function [] -> invalid_arg "Stats.minf" | x :: r -> List.fold_left min x r
+let maxf = function [] -> invalid_arg "Stats.maxf" | x :: r -> List.fold_left max x r
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  let n = List.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: constant x";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let ybar = sy /. fn in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.0)) 0.0 pts in
+  let ss_res =
+    List.fold_left (fun a (x, y) -> a +. ((y -. (intercept +. (slope *. x))) ** 2.0)) 0.0 pts
+  in
+  let r2 = if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { slope; intercept; r2 }
+
+let loglog_fit pts =
+  let lg = Int_math.log2f in
+  let pts' =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then invalid_arg "Stats.loglog_fit: non-positive point";
+        (lg x, lg y))
+      pts
+  in
+  linear_fit pts'

@@ -1,0 +1,30 @@
+(** Summary statistics and regression helpers for the experiment
+    harnesses.
+
+    The log–log regression is how EXPERIMENTS.md extracts empirical
+    scaling exponents (e.g. "measured rounds grow like n^0.9"). *)
+
+val mean : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for singleton lists. *)
+
+val median : float list -> float
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [[0, 100]]. *)
+
+val minf : float list -> float
+val maxf : float list -> float
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+val linear_fit : (float * float) list -> fit
+(** Ordinary least squares over (x, y) pairs. Requires >= 2 points with
+    non-constant x. *)
+
+val loglog_fit : (float * float) list -> fit
+(** Least squares over (log₂ x, log₂ y): [slope] is the empirical
+    polynomial exponent. Points with non-positive coordinates are
+    rejected with [Invalid_argument]. *)

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables that mirror the layout of
+    the paper's Table 1 and Table 2 in [bench_output.txt]. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+val create_aligned : headers:(string * align) list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header
+    width. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string]. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_bool : bool -> string

@@ -1,0 +1,37 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+
+let same t x y = find t x = find t y
+
+let count_classes t =
+  let c = ref 0 in
+  Array.iteri (fun i _ -> if find t i = i then incr c) t.parent;
+  !c
+
+let class_members t x =
+  let root = find t x in
+  let acc = ref [] in
+  for i = Array.length t.parent - 1 downto 0 do
+    if find t i = root then acc := i :: !acc
+  done;
+  !acc

@@ -1,0 +1,15 @@
+(** Disjoint sets over [[0, n-1]] with union by rank and path
+    compression. Used by the weight-1 edge contraction of Lemma 4.3 and
+    by connectivity checks in the graph generators. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+(** Canonical representative of the element's class. *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val count_classes : t -> int
+val class_members : t -> int -> int list
+(** All elements whose representative equals [find t x], increasing. *)

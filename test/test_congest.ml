@@ -1,0 +1,316 @@
+(* Tests for lib/congest: the synchronous engine, its accounting, and
+   the spanning-tree primitives. *)
+
+open Congest
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let unit_path n =
+  let rng = Util.Rng.create ~seed:0 in
+  Graphlib.Gen.path ~n ~weighting:Graphlib.Gen.Unit ~rng
+
+let random_graph seed =
+  let rng = Util.Rng.create ~seed in
+  let n = 3 + Util.Rng.int rng 30 in
+  Graphlib.Gen.gnp_connected ~n ~p:0.15 ~weighting:(Graphlib.Gen.Uniform { max_w = 5 }) ~rng
+
+(* ------------------------------ Engine ---------------------------- *)
+
+(* A relay protocol: node 0 sends a counter that each node increments
+   and forwards along the path; exercises delivery timing. *)
+type relay = { got : int option }
+
+let relay_protocol : (relay, int) Engine.protocol =
+  {
+    name = "relay";
+    size_words = (fun _ -> 1);
+    init =
+      (fun view ->
+        if view.Node_view.id = 0 then ({ got = Some 0 }, Engine.send [ (1, 0) ])
+        else ({ got = None }, Engine.no_action));
+    on_round =
+      (fun view ~round:_ s ~inbox ->
+        match inbox with
+        | [] -> (s, Engine.no_action)
+        | { Engine.msg; _ } :: _ ->
+          let me = view.Node_view.id in
+          let next = me + 1 in
+          if next < view.Node_view.n then ({ got = Some (msg + 1) }, Engine.send [ (next, msg + 1) ])
+          else ({ got = Some (msg + 1) }, Engine.no_action));
+  }
+
+let test_engine_relay () =
+  let g = unit_path 6 in
+  let states, trace = Engine.run g relay_protocol in
+  Alcotest.(check (option int)) "last got" (Some 5) states.(5).got;
+  check "rounds" 5 trace.Engine.rounds;
+  check "messages" 5 trace.Engine.messages;
+  check "max load" 1 trace.Engine.max_edge_load;
+  check "violations" 0 trace.Engine.congestion_violations
+
+let test_engine_wake_fast_forward () =
+  (* A node that sleeps 1000 rounds and then sends: the engine must
+     fast-forward, and rounds must reflect the late send. *)
+  let g = unit_path 2 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      name = "sleeper";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then ((), Engine.wake 1000) else ((), Engine.no_action));
+      on_round =
+        (fun view ~round s ~inbox:_ ->
+          if view.Node_view.id = 0 && round = 1000 then (s, Engine.send [ (1, 7) ])
+          else (s, Engine.no_action));
+    }
+  in
+  let _, trace = Engine.run g proto in
+  check "rounds include sleep" 1001 trace.Engine.rounds;
+  checkb "few activations" true (trace.Engine.activations < 10)
+
+let test_engine_non_neighbor () =
+  let g = unit_path 3 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      name = "bad";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then ((), Engine.send [ (2, 1) ]) else ((), Engine.no_action));
+      on_round = (fun _ ~round:_ s ~inbox:_ -> (s, Engine.no_action));
+    }
+  in
+  checkb "raises" true
+    (try
+       ignore (Engine.run g proto);
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_bandwidth_violation () =
+  (* Two messages on one edge in one round at bandwidth 1. *)
+  let g = unit_path 2 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      name = "burst";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then ((), Engine.send [ (1, 1); (1, 2) ])
+          else ((), Engine.no_action));
+      on_round = (fun _ ~round:_ s ~inbox:_ -> (s, Engine.no_action));
+    }
+  in
+  let _, trace = Engine.run g proto in
+  check "violations" 1 trace.Engine.congestion_violations;
+  check "max load" 2 trace.Engine.max_edge_load;
+  let _, trace2 = Engine.run ~bandwidth:2 g proto in
+  check "ok at bandwidth 2" 0 trace2.Engine.congestion_violations
+
+let test_engine_round_limit () =
+  let g = unit_path 2 in
+  (* Ping-pong forever. *)
+  let proto : (unit, int) Engine.protocol =
+    {
+      name = "pingpong";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then ((), Engine.send [ (1, 0) ]) else ((), Engine.no_action));
+      on_round =
+        (fun view ~round:_ s ~inbox ->
+          match inbox with
+          | [] -> (s, Engine.no_action)
+          | { Engine.src; _ } :: _ ->
+            ignore view;
+            (s, Engine.send [ (src, 0) ]));
+    }
+  in
+  checkb "limit enforced" true
+    (try
+       ignore (Engine.run ~max_rounds:50 g proto);
+       false
+     with Engine.Round_limit_exceeded _ -> true)
+
+let test_trace_arithmetic () =
+  let a =
+    { Engine.rounds = 3; messages = 5; words = 6; max_edge_load = 2; congestion_violations = 1;
+      activations = 7 }
+  in
+  let b =
+    { Engine.rounds = 4; messages = 1; words = 1; max_edge_load = 3; congestion_violations = 0;
+      activations = 2 }
+  in
+  let c = Engine.add_traces a b in
+  check "rounds add" 7 c.Engine.rounds;
+  check "messages add" 6 c.Engine.messages;
+  check "load max" 3 c.Engine.max_edge_load;
+  check "violations add" 1 c.Engine.congestion_violations
+
+let test_engine_on_message_hook () =
+  let g = unit_path 4 in
+  let seen = ref [] in
+  let hook ~round ~src ~dst ~words = seen := (round, src, dst, words) :: !seen in
+  let _, _ = Engine.run ~on_message:hook g relay_protocol in
+  (* Relay sends 0->1 at round 0, 1->2 at round 1, 2->3 at round 2. *)
+  checkb "hook saw every message" true
+    (List.rev !seen = [ (0, 0, 1, 1); (1, 1, 2, 1); (2, 2, 3, 1) ])
+
+let test_engine_deterministic () =
+  (* Same protocol, same graph: identical trace and states. *)
+  let g = unit_path 9 in
+  let run () = Engine.run g relay_protocol in
+  let s1, t1 = run () and s2, t2 = run () in
+  checkb "traces equal" true (t1 = t2);
+  checkb "states equal" true (s1 = s2)
+
+(* ------------------------------- Tree ------------------------------ *)
+
+let test_tree_structure () =
+  let g = unit_path 8 in
+  let tree, trace = Tree.build g ~root:0 in
+  check "depth = ecc of root" 7 tree.Tree.depth;
+  check "root parent" (-1) tree.Tree.parent.(0);
+  for v = 1 to 7 do
+    check "parent on path" (v - 1) tree.Tree.parent.(v);
+    check "level" v tree.Tree.level.(v)
+  done;
+  checkb "rounds O(D)" true (trace.Engine.rounds <= (4 * 7) + 4);
+  check "no violations" 0 trace.Engine.congestion_violations
+
+let prop_tree_is_bfs =
+  QCheck.Test.make ~name:"tree levels equal BFS distances" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let tree, _ = Tree.build g ~root:0 in
+      let dist = Graphlib.Bfs.distances g ~src:0 in
+      let ok = ref true in
+      Array.iteri (fun v l -> if l <> dist.(v) then ok := false) tree.Tree.level;
+      (* parent consistency: parent is one level up and adjacent *)
+      Array.iteri
+        (fun v p ->
+          if v <> 0 then begin
+            if tree.Tree.level.(v) <> tree.Tree.level.(p) + 1 then ok := false;
+            if Graphlib.Wgraph.weight g v p = None then ok := false
+          end)
+        tree.Tree.parent;
+      !ok)
+
+let prop_children_match_parents =
+  QCheck.Test.make ~name:"children arrays mirror parents" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let tree, _ = Tree.build g ~root:0 in
+      let ok = ref true in
+      Array.iteri
+        (fun v children ->
+          Array.iter (fun c -> if tree.Tree.parent.(c) <> v then ok := false) children)
+        tree.Tree.children;
+      let child_count = Array.fold_left (fun a c -> a + Array.length c) 0 tree.Tree.children in
+      !ok && child_count = Graphlib.Wgraph.n g - 1)
+
+let test_convergecast_sum () =
+  let g = random_graph 5 in
+  let n = Graphlib.Wgraph.n g in
+  let tree, _ = Tree.build g ~root:0 in
+  let values = Array.init n (fun i -> i * i) in
+  let total, trace =
+    Tree.convergecast g tree ~values ~combine:( + ) ~size_words:(fun _ -> 1)
+  in
+  check "sum" (Array.fold_left ( + ) 0 values) total;
+  checkb "rounds <= depth+1" true (trace.Engine.rounds <= tree.Tree.depth + 1)
+
+let test_convergecast_max () =
+  let g = random_graph 6 in
+  let n = Graphlib.Wgraph.n g in
+  let tree, _ = Tree.build g ~root:0 in
+  let values = Array.init n (fun i -> (i * 7) mod 13) in
+  let m, _ = Tree.convergecast g tree ~values ~combine:max ~size_words:(fun _ -> 1) in
+  check "max" (Array.fold_left max 0 values) m
+
+let test_broadcast_pipelining () =
+  let g = unit_path 10 in
+  let tree, _ = Tree.build g ~root:0 in
+  let tokens = List.init 20 (fun i -> i) in
+  let per_node, trace = Tree.broadcast_tokens g tree ~tokens ~size_words:(fun _ -> 1) in
+  Array.iteri
+    (fun v l ->
+      ignore v;
+      Alcotest.(check (list int)) "all tokens in order" tokens l)
+    per_node;
+  (* Pipelined: depth + k, not depth * k. *)
+  checkb "pipelined rounds" true (trace.Engine.rounds <= 9 + 20);
+  check "load 1" 1 trace.Engine.max_edge_load;
+  check "violations" 0 trace.Engine.congestion_violations
+
+let test_upcast () =
+  let g = unit_path 10 in
+  let tree, _ = Tree.build g ~root:0 in
+  let items = Array.init 10 (fun i -> [ i; (i + 1) mod 10; 42 ]) in
+  let collected, trace = Tree.upcast g tree ~items ~compare ~size_words:(fun _ -> 1) in
+  Alcotest.(check (list int)) "distinct sorted" (List.init 10 (fun i -> i) @ [ 42 ]) collected;
+  (* 11 distinct items, depth 9: pipelining bound depth + k + slack. *)
+  checkb "rounds bound" true (trace.Engine.rounds <= 9 + 11 + 2);
+  check "violations" 0 trace.Engine.congestion_violations
+
+let prop_gather_broadcast_complete =
+  QCheck.Test.make ~name:"gather_broadcast collects every distinct item" ~count:30
+    QCheck.(pair (int_range 0 10_000) (list_of_size (Gen.int_range 0 30) (int_range 0 50)))
+    (fun (seed, raw) ->
+      let g = random_graph seed in
+      let n = Graphlib.Wgraph.n g in
+      let tree, _ = Tree.build g ~root:0 in
+      let items = Array.make n [] in
+      List.iteri (fun idx x -> items.(idx mod n) <- x :: items.(idx mod n)) raw;
+      let collected, _ = Tree.gather_broadcast g tree ~items ~compare ~size_words:(fun _ -> 1) in
+      collected = List.sort_uniq compare raw)
+
+(* ------------------------------ Runner ----------------------------- *)
+
+let test_runner () =
+  let r = Runner.create () in
+  let t1 = { Engine.empty_trace with Engine.rounds = 5; messages = 2 } in
+  let t2 = { Engine.empty_trace with Engine.rounds = 7; messages = 1 } in
+  Runner.record r "phase-a" t1;
+  Runner.record r "phase-b" t2;
+  Runner.record r "phase-a" t1;
+  check "total rounds" 17 (Runner.rounds r);
+  check "phases merged" 2 (List.length (Runner.phases r));
+  let a = List.assoc "phase-a" (Runner.phases r) in
+  check "merged rounds" 10 a.Engine.rounds;
+  let v = Runner.run_phase r "phase-c" (42, t1) in
+  check "run_phase value" 42 v;
+  check "after run_phase" 22 (Runner.rounds r)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tree_is_bfs; prop_children_match_parents; prop_gather_broadcast_complete ]
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "relay timing" `Quick test_engine_relay;
+          Alcotest.test_case "wake fast-forward" `Quick test_engine_wake_fast_forward;
+          Alcotest.test_case "non-neighbor rejected" `Quick test_engine_non_neighbor;
+          Alcotest.test_case "bandwidth accounting" `Quick test_engine_bandwidth_violation;
+          Alcotest.test_case "round limit" `Quick test_engine_round_limit;
+          Alcotest.test_case "trace arithmetic" `Quick test_trace_arithmetic;
+          Alcotest.test_case "on_message hook" `Quick test_engine_on_message_hook;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "structure on path" `Quick test_tree_structure;
+          Alcotest.test_case "convergecast sum" `Quick test_convergecast_sum;
+          Alcotest.test_case "convergecast max" `Quick test_convergecast_max;
+          Alcotest.test_case "broadcast pipelining" `Quick test_broadcast_pipelining;
+          Alcotest.test_case "upcast" `Quick test_upcast;
+        ] );
+      ("runner", [ Alcotest.test_case "accounting" `Quick test_runner ]);
+      ("properties", qsuite);
+    ]

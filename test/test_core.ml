@@ -1,0 +1,300 @@
+(* Tests for lib/core: Eq. (1) parameters, the random sets and good
+   events, the inner Lemma 3.5 evaluation, and the end-to-end
+   Theorem 1.1 algorithm. *)
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+(* ------------------------------ Params ----------------------------- *)
+
+let test_params_eq1 () =
+  let p = Core.Params.of_graph_params ~n:1024 ~d_hat:16 () in
+  (* r = n^{2/5} D^{-1/5} = 1024^0.4 / 16^0.2 = 16/1.74... *)
+  checkb "r value" true (abs_float (p.Core.Params.r -. (1024.0 ** 0.4 /. (16.0 ** 0.2))) < 1e-6);
+  check "k = sqrt D" 4 p.Core.Params.k;
+  checkb "eps = 1/log n" true (abs_float (p.Core.Params.eps -. 0.1) < 1e-9);
+  check "num_sets = n" 1024 p.Core.Params.num_sets;
+  (* ell = n log n / r, clamped to n. *)
+  checkb "ell clamp" true (p.Core.Params.ell <= 1024 && p.Core.Params.ell >= 1)
+
+let test_params_overrides () =
+  let p = Core.Params.of_graph_params ~eps_override:0.5 ~num_sets:10 ~n:100 ~d_hat:4 () in
+  checkb "eps override" true (p.Core.Params.eps = 0.5);
+  check "num_sets override" 10 p.Core.Params.num_sets;
+  checkb "rate in (0,1]" true
+    (Core.Params.sample_rate p > 0.0 && Core.Params.sample_rate p <= 1.0)
+
+let test_params_errors () =
+  checkb "n<1" true
+    (try ignore (Core.Params.of_graph_params ~n:0 ~d_hat:1 ()); false
+     with Invalid_argument _ -> true);
+  checkb "bad eps" true
+    (try ignore (Core.Params.of_graph_params ~eps_override:1.5 ~n:10 ~d_hat:1 ()); false
+     with Invalid_argument _ -> true)
+
+let test_theorem_formula_crossover () =
+  (* n^{9/10} D^{3/10} < n iff D < n^{1/3}. *)
+  let n = 1_000_000 in
+  let below = Core.Params.theorem_1_1_rounds ~n ~d:50 in
+  let above = Core.Params.theorem_1_1_rounds ~n ~d:1000 in
+  checkb "below crossover sublinear" true (below < float_of_int n);
+  checkb "above crossover capped at n" true (above = float_of_int n);
+  (* Monotone in D until the cap. *)
+  checkb "monotone" true
+    (Core.Params.theorem_1_1_rounds ~n ~d:10 < Core.Params.theorem_1_1_rounds ~n ~d:40)
+
+let test_lemma_3_5_terms () =
+  let p = Core.Params.of_graph_params ~eps_override:0.5 ~n:100 ~d_hat:9 () in
+  let t0, t1, t2 = Core.Params.lemma_3_5_terms p in
+  checkb "t0 positive" true (t0 > 0.0);
+  checkb "t1 positive" true (t1 > 0.0);
+  checkb "t2 = D" true (t2 = 9.0);
+  checkb "lemma rounds combines" true
+    (abs_float (Core.Params.lemma_3_5_rounds p -. (t0 +. (sqrt p.Core.Params.r *. (t1 +. t2))))
+    < 1e-9)
+
+(* ------------------------------- Sets ------------------------------ *)
+
+let test_sets_sampling () =
+  let rng = Util.Rng.create ~seed:1 in
+  let p = Core.Params.of_graph_params ~eps_override:0.5 ~num_sets:200 ~n:100 ~d_hat:4 () in
+  let sets = Core.Sets.sample ~rng ~n:100 ~params:p in
+  check "count" 200 (Array.length sets.Core.Sets.sets);
+  (* Mean size near r. *)
+  let mean =
+    float_of_int (Array.fold_left (fun a s -> a + List.length s) 0 sets.Core.Sets.sets) /. 200.0
+  in
+  checkb "mean near r" true (abs_float (mean -. sets.Core.Sets.expected_size) < 1.5);
+  (* Members sorted and in range. *)
+  Array.iter
+    (fun s ->
+      checkb "sorted" true (List.sort compare s = s);
+      List.iter (fun v -> checkb "range" true (v >= 0 && v < 100)) s)
+    sets.Core.Sets.sets
+
+let test_good_scale () =
+  let rng = Util.Rng.create ~seed:2 in
+  let p = Core.Params.of_graph_params ~eps_override:0.5 ~num_sets:400 ~n:64 ~d_hat:4 () in
+  let sets = Core.Sets.sample ~rng ~n:64 ~params:p in
+  let report = Core.Sets.check_good_scale sets ~vstar:7 in
+  checkb "beta near m*rate" true
+    (float_of_int report.Core.Sets.vstar_memberships
+    > 0.3 *. (400.0 *. sets.Core.Sets.rate));
+  checkb "sizes recorded" true (Array.length report.Core.Sets.sizes = 400)
+
+let test_membership_sets () =
+  let sets =
+    { Core.Sets.sets = [| [ 1; 2 ]; [ 3 ]; [ 2; 5 ] |]; rate = 0.1; expected_size = 2.0 }
+  in
+  Alcotest.(check (list int)) "memberships" [ 0; 2 ] (Core.Sets.membership_sets sets ~v:2)
+
+(* ------------------------------- Inner ----------------------------- *)
+
+let inner_ctx seed =
+  let rng = Util.Rng.create ~seed in
+  let g = Graphlib.Gen.gnp_connected ~n:16 ~p:0.25 ~weighting:(Graphlib.Gen.Uniform { max_w = 6 }) ~rng in
+  let tree, _ = Congest.Tree.build g ~root:0 in
+  let params = { Graphlib.Reweight.ell = 16; eps = 0.5 } in
+  (g, { Nanongkai.Approx.g; tree; params; k = 2; rng })
+
+let test_inner_distributed_matches_centralized () =
+  let g, ctx = inner_ctx 3 in
+  let s = [ 0; 3; 7 ] in
+  let dist =
+    Core.Inner.eval_distributed ~ctx ~objective:Core.Inner.Maximize ~s ~delta:0.1 ~c:3.0
+  in
+  let cent =
+    Core.Inner.eval_centralized g ~params:ctx.Nanongkai.Approx.params ~k:2
+      ~objective:Core.Inner.Maximize ~s
+  in
+  match (dist, cent) with
+  | Some d, Some c ->
+    checkb "values equal" true (abs_float (d.Core.Inner.value -. c) < 1e-9);
+    checkb "t0 positive" true (d.Core.Inner.t0 > 0);
+    checkb "t1 positive" true (d.Core.Inner.t1 > 0);
+    checkb "total = t0+search" true
+      (d.Core.Inner.total_rounds = d.Core.Inner.t0 + d.Core.Inner.search_rounds)
+  | _ -> Alcotest.fail "unexpected None"
+
+let test_inner_minimize_leq_maximize () =
+  let g, ctx = inner_ctx 4 in
+  ignore g;
+  let s = [ 0; 3; 7; 9 ] in
+  let mx = Core.Inner.eval_distributed ~ctx ~objective:Core.Inner.Maximize ~s ~delta:0.1 ~c:3.0 in
+  let mn = Core.Inner.eval_distributed ~ctx ~objective:Core.Inner.Minimize ~s ~delta:0.1 ~c:3.0 in
+  match (mx, mn) with
+  | Some a, Some b -> checkb "min <= max" true (b.Core.Inner.value <= a.Core.Inner.value +. 1e-9)
+  | _ -> Alcotest.fail "unexpected None"
+
+let test_inner_empty_set () =
+  let _, ctx = inner_ctx 5 in
+  checkb "empty -> None" true
+    (Core.Inner.eval_distributed ~ctx ~objective:Core.Inner.Maximize ~s:[] ~delta:0.1 ~c:3.0
+    = None);
+  checkb "worst max" true (Core.Inner.worst_value Core.Inner.Maximize = Float.neg_infinity);
+  checkb "worst min" true (Core.Inner.worst_value Core.Inner.Minimize = Float.infinity)
+
+(* ----------------------------- Algorithm --------------------------- *)
+
+let run_algorithm ?config seed objective g =
+  let rng = Util.Rng.create ~seed in
+  Core.Algorithm.run ?config g objective ~rng
+
+let family seed =
+  let rng = Util.Rng.create ~seed in
+  Graphlib.Gen.cliques_cycle ~cliques:5 ~clique_size:6
+    ~weighting:(Graphlib.Gen.Uniform { max_w = 12 })
+    ~rng
+
+let test_algorithm_diameter_guarantee () =
+  let g = family 10 in
+  let r = run_algorithm 11 Core.Algorithm.Diameter g in
+  checkb "within guarantee" true r.Core.Algorithm.within_guarantee;
+  checkb "ratio >= 1" true (r.Core.Algorithm.ratio >= 1.0 -. 1e-9);
+  checkb "values consistent" true (r.Core.Algorithm.value_discrepancy < 1e-9);
+  checkb "positive rounds" true (r.Core.Algorithm.rounds > 0)
+
+let test_algorithm_radius_guarantee () =
+  let g = family 12 in
+  let r = run_algorithm 13 Core.Algorithm.Radius g in
+  checkb "within guarantee" true r.Core.Algorithm.within_guarantee;
+  checkb "radius <= diameter est" true
+    (r.Core.Algorithm.estimate
+    <= float_of_int (Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter g)) +. 1e-6)
+
+let test_algorithm_modes_agree () =
+  let g = family 14 in
+  let cfg mode = { Core.Algorithm.default_config with Core.Algorithm.mode } in
+  let a =
+    run_algorithm 15 Core.Algorithm.Diameter g
+      ~config:(cfg Core.Algorithm.Distributed_touched)
+  in
+  let b =
+    run_algorithm 15 Core.Algorithm.Diameter g
+      ~config:(cfg Core.Algorithm.Centralized_calibrated)
+  in
+  (* Same seed, same sampled sets; mode affects cost attribution, not
+     the estimate's guarantee. *)
+  checkb "both within guarantee" true
+    (a.Core.Algorithm.within_guarantee && b.Core.Algorithm.within_guarantee)
+
+let test_algorithm_fully_distributed_small () =
+  let rng = Util.Rng.create ~seed:16 in
+  let g =
+    Graphlib.Gen.gnp_connected ~n:12 ~p:0.3 ~weighting:(Graphlib.Gen.Uniform { max_w = 5 }) ~rng
+  in
+  let config =
+    { Core.Algorithm.default_config with
+      Core.Algorithm.mode = Core.Algorithm.Fully_distributed;
+      num_sets = Some 12 }
+  in
+  let r = run_algorithm 17 Core.Algorithm.Diameter g ~config in
+  checkb "within guarantee" true r.Core.Algorithm.within_guarantee;
+  checkb "no discrepancy" true (r.Core.Algorithm.value_discrepancy < 1e-9)
+
+let test_algorithm_success_rate () =
+  (* Repeat on random instances; the 1-delta success must hold amply. *)
+  let ok = ref 0 in
+  let trials = 12 in
+  for t = 1 to trials do
+    let rng = Util.Rng.create ~seed:(100 + t) in
+    let g =
+      Graphlib.Gen.gnp_connected ~n:24 ~p:0.2
+        ~weighting:(Graphlib.Gen.Uniform { max_w = 10 })
+        ~rng
+    in
+    let r = Core.Algorithm.run g Core.Algorithm.Diameter ~rng in
+    if r.Core.Algorithm.within_guarantee then incr ok
+  done;
+  checkb "success on >= 10/12" true (!ok >= 10)
+
+let test_algorithm_breakdown () =
+  let g = family 18 in
+  let r = run_algorithm 19 Core.Algorithm.Diameter g in
+  checkb "breakdown non-empty" true (r.Core.Algorithm.breakdown <> []);
+  let total_named = List.map fst r.Core.Algorithm.breakdown in
+  checkb "has tree phase" true (List.mem "bfs-tree" total_named);
+  checkb "touched non-empty" true (r.Core.Algorithm.touched_sets <> [])
+
+let test_algorithm_rejects_bad_input () =
+  let g = Graphlib.Wgraph.make ~n:3 [ { Graphlib.Wgraph.u = 0; v = 1; w = 1 } ] in
+  checkb "disconnected rejected" true
+    (try
+       ignore (run_algorithm 1 Core.Algorithm.Diameter g);
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_both_shares () =
+  let g = family 30 in
+  let rng = Util.Rng.create ~seed:31 in
+  let d, r, combined = Core.Algorithm.run_both g ~rng in
+  checkb "diameter within" true d.Core.Algorithm.within_guarantee;
+  checkb "radius within" true r.Core.Algorithm.within_guarantee;
+  checkb "radius <= diameter" true (r.Core.Algorithm.estimate <= d.Core.Algorithm.estimate +. 1e-6);
+  checkb "combined saves the shared tree" true
+    (combined < d.Core.Algorithm.rounds + r.Core.Algorithm.rounds);
+  (* Both searches operated on the same sampled sets. *)
+  checkb "same params" true (d.Core.Algorithm.params = r.Core.Algorithm.params)
+
+let prop_end_to_end_guarantee =
+  QCheck.Test.make ~name:"Theorem 1.1 guarantee across random instances" ~count:10
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Util.Rng.create ~seed in
+      let n = 10 + Util.Rng.int rng 20 in
+      let g =
+        Graphlib.Gen.gnp_connected ~n ~p:0.25
+          ~weighting:(Graphlib.Gen.Uniform { max_w = 1 + Util.Rng.int rng 30 })
+          ~rng
+      in
+      let config =
+        { Core.Algorithm.default_config with
+          Core.Algorithm.mode = Core.Algorithm.Centralized_calibrated }
+      in
+      let obj = if seed mod 2 = 0 then Core.Algorithm.Diameter else Core.Algorithm.Radius in
+      let r = Core.Algorithm.run ~config g obj ~rng in
+      (* δ = 0.1; a property over 10 instances should basically always
+         hold, but tolerate the allowed failure rate by accepting runs
+         that are merely never *below* the true value. *)
+      r.Core.Algorithm.within_guarantee
+      || r.Core.Algorithm.estimate >= float_of_int r.Core.Algorithm.exact -. 1e-6)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_end_to_end_guarantee ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "params (Eq. 1)",
+        [
+          Alcotest.test_case "eq1 values" `Quick test_params_eq1;
+          Alcotest.test_case "overrides" `Quick test_params_overrides;
+          Alcotest.test_case "errors" `Quick test_params_errors;
+          Alcotest.test_case "theorem formula crossover" `Quick test_theorem_formula_crossover;
+          Alcotest.test_case "lemma 3.5 terms" `Quick test_lemma_3_5_terms;
+        ] );
+      ( "sets",
+        [
+          Alcotest.test_case "sampling stats" `Quick test_sets_sampling;
+          Alcotest.test_case "good scale" `Quick test_good_scale;
+          Alcotest.test_case "membership" `Quick test_membership_sets;
+        ] );
+      ( "inner (Lemma 3.5)",
+        [
+          Alcotest.test_case "distributed = centralized" `Quick
+            test_inner_distributed_matches_centralized;
+          Alcotest.test_case "min <= max" `Quick test_inner_minimize_leq_maximize;
+          Alcotest.test_case "empty set" `Quick test_inner_empty_set;
+        ] );
+      ( "algorithm (Theorem 1.1)",
+        [
+          Alcotest.test_case "diameter guarantee" `Quick test_algorithm_diameter_guarantee;
+          Alcotest.test_case "radius guarantee" `Quick test_algorithm_radius_guarantee;
+          Alcotest.test_case "modes agree" `Quick test_algorithm_modes_agree;
+          Alcotest.test_case "fully distributed" `Slow test_algorithm_fully_distributed_small;
+          Alcotest.test_case "success rate" `Slow test_algorithm_success_rate;
+          Alcotest.test_case "breakdown" `Quick test_algorithm_breakdown;
+          Alcotest.test_case "rejects bad input" `Quick test_algorithm_rejects_bad_input;
+          Alcotest.test_case "run_both shares work" `Quick test_run_both_shares;
+        ] );
+      ("properties", qsuite);
+    ]

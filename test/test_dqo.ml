@@ -1,0 +1,211 @@
+(* Tests for lib/dqo: the closed-form amplification model and the
+   Lemma 3.1 optimizer with its round ledger. *)
+
+let checkb = Alcotest.(check bool)
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ----------------------------- Amplify ----------------------------- *)
+
+let test_amplify_basics () =
+  let sp = Dqo.Amplify.create [| 1.0; 1.0; 2.0 |] in
+  check "size" 3 (Dqo.Amplify.size sp);
+  checkf "weight normalized" 0.5 (Dqo.Amplify.weight sp 2);
+  checkf "mass" 0.5 (Dqo.Amplify.mass sp ~marked:(fun i -> i < 2))
+
+let test_amplify_errors () =
+  checkb "zero total" true
+    (try
+       ignore (Dqo.Amplify.create [| 0.0 |]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative" true
+    (try
+       ignore (Dqo.Amplify.create [| 1.0; -0.5 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_success_probability_vs_qsim () =
+  (* The dqo closed form must agree with a real state-vector Grover. *)
+  let w = [| 0.5; 1.5; 2.0; 1.0; 3.0 |] in
+  let sp = Dqo.Amplify.create w in
+  let marked i = i = 1 || i = 4 in
+  for j = 0 to 6 do
+    let p_model = Dqo.Amplify.success_probability sp ~marked ~iterations:j in
+    let init = Qsim.State.of_weights w in
+    let final = Qsim.Grover.run ~init ~marked ~iterations:j in
+    checkf "agrees with statevector" (Qsim.State.mass final ~marked) p_model
+  done
+
+let test_measure_after_distribution () =
+  (* Empirical frequency of marked outcomes must match the closed form,
+     and conditional distribution within the marked set must stay
+     proportional to the weights. *)
+  let rng = Util.Rng.create ~seed:3 in
+  let w = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let sp = Dqo.Amplify.create w in
+  let marked i = i >= 2 in
+  let iterations = 1 in
+  let p = Dqo.Amplify.success_probability sp ~marked ~iterations in
+  let trials = 4000 in
+  let marked_hits = ref 0 and hit2 = ref 0 and hit3 = ref 0 in
+  for _ = 1 to trials do
+    let x = Dqo.Amplify.measure_after sp ~rng ~marked ~iterations in
+    if marked x then incr marked_hits;
+    if x = 2 then incr hit2;
+    if x = 3 then incr hit3
+  done;
+  let freq = float_of_int !marked_hits /. float_of_int trials in
+  checkb "marked frequency matches closed form" true (abs_float (freq -. p) < 0.03);
+  (* Within marked: 3:4 ratio. *)
+  let ratio = float_of_int !hit3 /. float_of_int (max 1 !hit2) in
+  checkb "conditional ratio ~ 4/3" true (abs_float (ratio -. (4.0 /. 3.0)) < 0.25)
+
+let test_measure_after_extremes () =
+  let rng = Util.Rng.create ~seed:4 in
+  let sp = Dqo.Amplify.create [| 1.0; 1.0 |] in
+  (* No marked: must sample from the bare distribution. *)
+  let x = Dqo.Amplify.measure_after sp ~rng ~marked:(fun _ -> false) ~iterations:5 in
+  checkb "in range" true (x = 0 || x = 1);
+  (* All marked: always returns a marked element. *)
+  let y = Dqo.Amplify.measure_after sp ~rng ~marked:(fun _ -> true) ~iterations:5 in
+  checkb "marked" true (y = 0 || y = 1)
+
+(* ------------------------------ Cost ------------------------------- *)
+
+let test_cost_ledger () =
+  let c = { Dqo.Cost.setup_rounds = 10; eval_rounds = 5 } in
+  let l = Dqo.Cost.with_init 100 in
+  let l = Dqo.Cost.charge_iterations l c 3 in
+  let l = Dqo.Cost.charge_measurement l c in
+  check "iterations" 3 l.Dqo.Cost.grover_iterations;
+  check "measurements" 1 l.Dqo.Cost.measurements;
+  (* 3 iterations × 2×(10+5) + 1 measurement × (10+5) = 105. *)
+  check "search rounds" 105 l.Dqo.Cost.search_rounds;
+  check "total" 205 (Dqo.Cost.total_rounds l);
+  let m = Dqo.Cost.merge l l in
+  check "merge total" 410 (Dqo.Cost.total_rounds m)
+
+(* ----------------------------- Optimize ---------------------------- *)
+
+let test_budget_formula () =
+  let b = Dqo.Optimize.budget_for ~rho:0.01 ~delta:0.1 ~c:3.0 in
+  (* 3·√(ln(e/0.1)/0.01) = 3·√(330.2…) ≈ 54.5 → 55. *)
+  check "budget" 55 b;
+  checkb "rho error" true
+    (try
+       ignore (Dqo.Optimize.budget_for ~rho:0.0 ~delta:0.1 ~c:3.0);
+       false
+     with Invalid_argument _ -> true)
+
+let success_rate ~objective ~n ~trials ~seed =
+  let rng = Util.Rng.create ~seed in
+  let ok = ref 0 in
+  let cost = { Dqo.Cost.setup_rounds = 1; eval_rounds = 1 } in
+  for _ = 1 to trials do
+    let values = Array.init n (fun _ -> Util.Rng.int rng 1_000_000) in
+    let weights = Array.make n 1.0 in
+    let rho = 1.0 /. float_of_int n in
+    let r =
+      match objective with
+      | `Max -> Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho ~delta:0.1 ~cost ()
+      | `Min -> Dqo.Optimize.minimize ~rng ~weights ~values ~compare ~rho ~delta:0.1 ~cost ()
+    in
+    let truth =
+      match objective with
+      | `Max -> Array.fold_left max min_int values
+      | `Min -> Array.fold_left min max_int values
+    in
+    if r.Dqo.Optimize.best_value = truth then incr ok
+  done;
+  float_of_int !ok /. float_of_int trials
+
+let test_maximize_success () =
+  checkb "maximize >= 1-delta" true (success_rate ~objective:`Max ~n:100 ~trials:150 ~seed:5 >= 0.9)
+
+let test_minimize_success () =
+  checkb "minimize >= 1-delta" true (success_rate ~objective:`Min ~n:100 ~trials:150 ~seed:6 >= 0.9)
+
+let test_quantum_speedup_vs_exhaustive () =
+  (* The whole point: far fewer evaluations than exhaustive search. *)
+  let rng = Util.Rng.create ~seed:7 in
+  let n = 400 in
+  let cost = { Dqo.Cost.setup_rounds = 100; eval_rounds = 50 } in
+  let total_iters = ref 0 in
+  let trials = 30 in
+  for _ = 1 to trials do
+    let values = Array.init n (fun _ -> Util.Rng.int rng 1_000_000) in
+    let r =
+      Dqo.Optimize.maximize ~rng ~weights:(Array.make n 1.0) ~values ~compare
+        ~rho:(1.0 /. float_of_int n) ~delta:0.1 ~cost ()
+    in
+    total_iters := !total_iters + r.Dqo.Optimize.ledger.Dqo.Cost.grover_iterations
+  done;
+  let avg = float_of_int !total_iters /. float_of_int trials in
+  let exhaustive = Dqo.Optimize.exhaustive ~values:(Array.make n 0) ~compare ~cost in
+  checkb "iterations << n" true (avg < float_of_int n /. 2.0);
+  check "exhaustive touches all" n (List.length exhaustive.Dqo.Optimize.touched);
+  check "exhaustive rounds" (n * 150) (Dqo.Cost.total_rounds exhaustive.Dqo.Optimize.ledger)
+
+let test_rho_promise_scaling () =
+  (* A larger promised mass means a smaller budget: with many
+     maximizers the search stops earlier. *)
+  let b_small = Dqo.Optimize.budget_for ~rho:0.001 ~delta:0.1 ~c:3.0 in
+  let b_large = Dqo.Optimize.budget_for ~rho:0.25 ~delta:0.1 ~c:3.0 in
+  checkb "budget shrinks with rho" true (b_large * 5 < b_small)
+
+let test_touched_tracks_measurements () =
+  let rng = Util.Rng.create ~seed:8 in
+  let values = Array.init 50 (fun i -> i) in
+  let r =
+    Dqo.Optimize.maximize ~rng ~weights:(Array.make 50 1.0) ~values ~compare ~rho:0.02
+      ~delta:0.1
+      ~cost:{ Dqo.Cost.setup_rounds = 1; eval_rounds = 1 }
+      ()
+  in
+  checkb "touched non-empty" true (r.Dqo.Optimize.touched <> []);
+  checkb "touched distinct" true
+    (List.length r.Dqo.Optimize.touched
+    = List.length (List.sort_uniq compare r.Dqo.Optimize.touched));
+  checkb "best in touched" true (List.mem r.Dqo.Optimize.best_idx r.Dqo.Optimize.touched)
+
+let test_weighted_search () =
+  (* Heavily-weighted maximizer: found almost immediately. *)
+  let rng = Util.Rng.create ~seed:9 in
+  let n = 100 in
+  let values = Array.init n (fun i -> i) in
+  let weights = Array.init n (fun i -> if i = n - 1 then 1000.0 else 1.0) in
+  let ok = ref 0 in
+  for _ = 1 to 50 do
+    let r =
+      Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho:0.9 ~delta:0.1
+        ~cost:{ Dqo.Cost.setup_rounds = 1; eval_rounds = 1 }
+        ()
+    in
+    if r.Dqo.Optimize.best_idx = n - 1 then incr ok
+  done;
+  checkb "dominant weight wins" true (!ok >= 45)
+
+let () =
+  Alcotest.run "dqo"
+    [
+      ( "amplify",
+        [
+          Alcotest.test_case "basics" `Quick test_amplify_basics;
+          Alcotest.test_case "errors" `Quick test_amplify_errors;
+          Alcotest.test_case "closed form vs qsim" `Quick test_success_probability_vs_qsim;
+          Alcotest.test_case "measurement distribution" `Quick test_measure_after_distribution;
+          Alcotest.test_case "extremes" `Quick test_measure_after_extremes;
+        ] );
+      ("cost", [ Alcotest.test_case "ledger" `Quick test_cost_ledger ]);
+      ( "optimize (Lemma 3.1)",
+        [
+          Alcotest.test_case "budget formula" `Quick test_budget_formula;
+          Alcotest.test_case "maximize success rate" `Quick test_maximize_success;
+          Alcotest.test_case "minimize success rate" `Quick test_minimize_success;
+          Alcotest.test_case "speedup vs exhaustive" `Quick test_quantum_speedup_vs_exhaustive;
+          Alcotest.test_case "rho promise scaling" `Quick test_rho_promise_scaling;
+          Alcotest.test_case "touched tracking" `Quick test_touched_tracks_measurements;
+          Alcotest.test_case "weighted search" `Quick test_weighted_search;
+        ] );
+    ]

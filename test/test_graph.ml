@@ -1,0 +1,472 @@
+(* Tests for lib/graph: representation, generators, exact algorithms,
+   and the paper's Lemma 3.2 / 3.3 / 4.3 reference machinery. *)
+
+open Graphlib
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let rng () = Util.Rng.create ~seed:2024
+
+let random_graph ?(max_n = 24) ?(max_w = 10) seed =
+  let rng = Util.Rng.create ~seed in
+  let n = 2 + Util.Rng.int rng (max_n - 1) in
+  Gen.gnp_connected ~n ~p:0.15 ~weighting:(Gen.Uniform { max_w }) ~rng
+
+(* ------------------------------ Dist ------------------------------ *)
+
+let test_dist () =
+  checkb "inf is inf" true (Dist.is_inf Dist.inf);
+  checkb "0 finite" true (Dist.is_finite 0);
+  check "add" 5 (Dist.add 2 3);
+  checkb "add inf" true (Dist.is_inf (Dist.add Dist.inf 3));
+  Alcotest.(check string) "to_string" "inf" (Dist.to_string Dist.inf);
+  Alcotest.(check string) "to_string fin" "7" (Dist.to_string 7);
+  Alcotest.check_raises "to_int inf" (Invalid_argument "Dist.to_int_exn: infinite") (fun () ->
+      ignore (Dist.to_int_exn Dist.inf));
+  checkb "scale inf" true (Dist.is_inf (Dist.scale_up_exn Dist.inf 3));
+  check "scale" 12 (Dist.scale_up_exn 4 3)
+
+(* ----------------------------- Wgraph ----------------------------- *)
+
+let test_wgraph_build () =
+  let g = Wgraph.make ~n:4 [ { Wgraph.u = 0; v = 1; w = 2 }; { u = 2; v = 1; w = 3 } ] in
+  check "n" 4 (Wgraph.n g);
+  check "m" 2 (Wgraph.m g);
+  check "degree 1" 2 (Wgraph.degree g 1);
+  Alcotest.(check (option int)) "weight" (Some 2) (Wgraph.weight g 1 0);
+  Alcotest.(check (option int)) "no edge" None (Wgraph.weight g 0 3);
+  check "max weight" 3 (Wgraph.max_weight g);
+  checkb "disconnected" false (Wgraph.is_connected g)
+
+let test_wgraph_parallel_edges () =
+  let g =
+    Wgraph.make ~n:2
+      [ { Wgraph.u = 0; v = 1; w = 5 }; { u = 1; v = 0; w = 2 }; { u = 0; v = 1; w = 9 } ]
+  in
+  check "dedup to min" 1 (Wgraph.m g);
+  Alcotest.(check (option int)) "min weight kept" (Some 2) (Wgraph.weight g 0 1)
+
+let test_wgraph_errors () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Wgraph.make: self-loop") (fun () ->
+      ignore (Wgraph.make ~n:2 [ { Wgraph.u = 1; v = 1; w = 1 } ]));
+  Alcotest.check_raises "bad weight" (Invalid_argument "Wgraph.make: non-positive weight")
+    (fun () -> ignore (Wgraph.make ~n:2 [ { Wgraph.u = 0; v = 1; w = 0 } ]));
+  Alcotest.check_raises "range" (Invalid_argument "Wgraph.make: endpoint out of range")
+    (fun () -> ignore (Wgraph.make ~n:2 [ { Wgraph.u = 0; v = 5; w = 1 } ]))
+
+let test_wgraph_induced () =
+  let rng = rng () in
+  let g = Gen.cycle ~n:6 ~weighting:Gen.Unit ~rng in
+  let sub, mapping = Wgraph.induced g [ 0; 1; 2 ] in
+  check "sub n" 3 (Wgraph.n sub);
+  check "sub m" 2 (Wgraph.m sub);
+  check "mapping" 2 mapping.(2)
+
+let test_unit_weights () =
+  let rng = rng () in
+  let g = Gen.path ~n:5 ~weighting:(Gen.Uniform { max_w = 9 }) ~rng in
+  let u = Wgraph.with_unit_weights g in
+  check "same m" (Wgraph.m g) (Wgraph.m u);
+  check "unit W" 1 (Wgraph.max_weight u)
+
+(* --------------------------- Generators --------------------------- *)
+
+let test_generator_shapes () =
+  let rng = rng () in
+  let path = Gen.path ~n:10 ~weighting:Gen.Unit ~rng in
+  check "path diameter" 9 (Bfs.diameter path);
+  let cyc = Gen.cycle ~n:10 ~weighting:Gen.Unit ~rng in
+  check "cycle diameter" 5 (Bfs.diameter cyc);
+  let star = Gen.star ~n:10 ~weighting:Gen.Unit ~rng in
+  check "star diameter" 2 (Bfs.diameter star);
+  let k5 = Gen.complete ~n:5 ~weighting:Gen.Unit ~rng in
+  check "K5 edges" 10 (Wgraph.m k5);
+  check "K5 diameter" 1 (Bfs.diameter k5);
+  let grid = Gen.grid ~rows:3 ~cols:4 ~weighting:Gen.Unit ~rng in
+  check "grid n" 12 (Wgraph.n grid);
+  check "grid diameter" 5 (Bfs.diameter grid)
+
+let test_cliques_cycle () =
+  let rng = rng () in
+  let g = Gen.cliques_cycle ~cliques:6 ~clique_size:5 ~weighting:Gen.Unit ~rng in
+  check "n" 30 (Wgraph.n g);
+  checkb "connected" true (Wgraph.is_connected g);
+  let d = Bfs.diameter g in
+  checkb "diameter Θ(cliques)" true (d >= 6 && d <= 13)
+
+let test_barbell () =
+  let rng = rng () in
+  let g = Gen.barbell ~clique_size:5 ~path_len:7 ~weighting:Gen.Unit ~rng in
+  check "n" 17 (Wgraph.n g);
+  checkb "connected" true (Wgraph.is_connected g);
+  check "diameter" 10 (Bfs.diameter g)
+
+let test_weighted_hard () =
+  let rng = rng () in
+  let g = Gen.weighted_hard_diameter ~n:40 ~heavy:1000 ~rng in
+  checkb "connected" true (Wgraph.is_connected g);
+  checkb "low hop diameter" true (Bfs.diameter g <= 3);
+  checkb "weighted diameter much larger" true (Apsp.weighted_diameter g > 10)
+
+let prop_gnp_connected =
+  QCheck.Test.make ~name:"gnp_connected is connected" ~count:50
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Util.Rng.create ~seed in
+      Wgraph.is_connected (Gen.gnp_connected ~n ~p:0.05 ~weighting:Gen.Unit ~rng))
+
+let prop_tree_edges =
+  QCheck.Test.make ~name:"random_tree has n-1 edges and is connected" ~count:50
+    QCheck.(pair (int_range 1 50) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Util.Rng.create ~seed in
+      let t = Gen.random_tree ~n ~weighting:Gen.Unit ~rng in
+      Wgraph.m t = n - 1 && Wgraph.is_connected t)
+
+(* ------------------------- BFS / Dijkstra ------------------------- *)
+
+let prop_dijkstra_matches_bfs_on_unit =
+  QCheck.Test.make ~name:"dijkstra = bfs on unit weights" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Wgraph.with_unit_weights (random_graph seed) in
+      let d1 = Dijkstra.distances g ~src:0 in
+      let d2 = Bfs.distances g ~src:0 in
+      d1 = d2)
+
+let prop_dijkstra_triangle =
+  QCheck.Test.make ~name:"dijkstra satisfies triangle inequality" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Wgraph.n g in
+      let d0 = Dijkstra.distances g ~src:0 in
+      let ok = ref true in
+      for m = 0 to n - 1 do
+        let dm = Dijkstra.distances g ~src:m in
+        for v = 0 to n - 1 do
+          if Dist.compare d0.(v) (Dist.add d0.(m) dm.(v)) > 0 then ok := false
+        done
+      done;
+      !ok)
+
+let test_dijkstra_path () =
+  let g =
+    Wgraph.make ~n:4
+      [
+        { Wgraph.u = 0; v = 1; w = 1 };
+        { u = 1; v = 2; w = 1 };
+        { u = 0; v = 2; w = 5 };
+        { u = 2; v = 3; w = 1 };
+      ]
+  in
+  Alcotest.(check (option (list int))) "path" (Some [ 0; 1; 2; 3 ]) (Dijkstra.path g ~src:0 ~dst:3);
+  let g2 = Wgraph.make ~n:3 [ { Wgraph.u = 0; v = 1; w = 1 } ] in
+  Alcotest.(check (option (list int))) "unreachable" None (Dijkstra.path g2 ~src:0 ~dst:2)
+
+let prop_bounded_hop_monotone =
+  QCheck.Test.make ~name:"bounded-hop distances decrease with hops, converge to exact"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Wgraph.n g in
+      let exact = Dijkstra.distances g ~src:0 in
+      let prev = ref (Dijkstra.bounded_hop_distances g ~src:0 ~hops:0) in
+      let ok = ref true in
+      for h = 1 to n do
+        let cur = Dijkstra.bounded_hop_distances g ~src:0 ~hops:h in
+        for v = 0 to n - 1 do
+          if Dist.compare cur.(v) !prev.(v) > 0 then ok := false;
+          if Dist.compare cur.(v) exact.(v) < 0 then ok := false
+        done;
+        prev := cur
+      done;
+      !ok && !prev = exact)
+
+let test_bounded_distance () =
+  let rng = rng () in
+  let g = Gen.path ~n:6 ~weighting:(Gen.Uniform { max_w = 3 }) ~rng in
+  let exact = Dijkstra.distances g ~src:0 in
+  let bounded = Dijkstra.distances_bounded g ~src:0 ~bound:4 in
+  Array.iteri
+    (fun v d ->
+      if Dist.is_finite exact.(v) && exact.(v) <= 4 then check "kept" exact.(v) d
+      else checkb "cut" true (Dist.is_inf bounded.(v)))
+    bounded
+
+(* ------------------------------ Hop ------------------------------- *)
+
+let test_hop_distance () =
+  (* Two shortest paths of equal length; hop distance takes the
+     fewer-edge one. *)
+  let g =
+    Wgraph.make ~n:4
+      [
+        { Wgraph.u = 0; v = 3; w = 4 };
+        { u = 0; v = 1; w = 2 };
+        { u = 1; v = 2; w = 1 };
+        { u = 2; v = 3; w = 1 };
+      ]
+  in
+  let dist, hops = Hop.distances g ~src:0 in
+  check "dist" 4 dist.(3);
+  check "hops prefers short" 1 hops.(3);
+  check "self" 0 (Hop.hop_distance g ~u:2 ~v:2)
+
+let test_hop_diameter () =
+  let rng = rng () in
+  let g = Gen.path ~n:5 ~weighting:Gen.Unit ~rng in
+  check "path hop diameter" 4 (Hop.hop_diameter g)
+
+(* ------------------------------ Apsp ------------------------------ *)
+
+let test_apsp_path () =
+  let g =
+    Wgraph.make ~n:4
+      [ { Wgraph.u = 0; v = 1; w = 2 }; { u = 1; v = 2; w = 3 }; { u = 2; v = 3; w = 4 } ]
+  in
+  check "diameter" 9 (Apsp.weighted_diameter g);
+  check "radius" 5 (Apsp.weighted_radius g);
+  check "center" 2 (Apsp.center g);
+  let u, v = Apsp.peripheral_pair g in
+  check "peripheral dist" 9 (Dijkstra.distances g ~src:u).(v)
+
+let prop_radius_diameter_sandwich =
+  QCheck.Test.make ~name:"R <= D <= 2R" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let d = Apsp.weighted_diameter g and r = Apsp.weighted_radius g in
+      Dist.compare r d <= 0 && d <= 2 * r)
+
+let prop_ecc_max_min =
+  QCheck.Test.make ~name:"diameter/radius are max/min eccentricity" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let ecc = Apsp.eccentricities g in
+      Apsp.weighted_diameter g = Array.fold_left max 0 ecc
+      && Apsp.weighted_radius g = Array.fold_left min Dist.inf ecc)
+
+(* ---------------------------- Reweight ---------------------------- *)
+
+let prop_reweight_sandwich =
+  QCheck.Test.make ~name:"Lemma 3.2 sandwich holds" ~count:60
+    QCheck.(triple (int_range 0 10_000) (int_range 1 20) (int_range 1 4))
+    (fun (seed, ell, e) ->
+      let g = random_graph seed in
+      let params = { Reweight.ell; eps = 1.0 /. float_of_int e } in
+      Reweight.check_sandwich g params ~src:0)
+
+let test_reweight_scales () =
+  check "num_scales"
+    (Util.Int_math.ilog2 (2 * 10 * 4 * 2) + 1)
+    (Reweight.num_scales ~n:10 ~max_w:4 ~eps:0.5);
+  let params = { Reweight.ell = 5; eps = 0.5 } in
+  check "w_0 of 3"
+    (int_of_float (ceil (2. *. 5. *. 3. /. 0.5)))
+    (Reweight.scaled_weight params ~i:0 ~w:3);
+  checkb "scaled >= 1" true (Reweight.scaled_weight params ~i:30 ~w:1 >= 1);
+  check "hop budget" 25 (Reweight.hop_budget params)
+
+let test_reweight_self () =
+  let g = random_graph 77 in
+  let params = { Reweight.ell = 5; eps = 0.5 } in
+  let row = Reweight.approx_from g params ~src:0 in
+  Alcotest.(check (float 1e-12)) "self distance 0" 0.0 row.(0)
+
+(* ---------------------------- Skeleton ---------------------------- *)
+
+let prop_skeleton_good_approx =
+  QCheck.Test.make ~name:"Lemma 3.3 approximation on dense-enough samples" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph ~max_n:20 seed in
+      let n = Wgraph.n g in
+      let rng = Util.Rng.create ~seed:(seed + 1) in
+      (* ℓ = n makes the hop bound vacuous, so the (1+ε)² guarantee
+         must hold for any non-empty S. *)
+      let s = List.sort_uniq compare (0 :: Util.Rng.subset_bernoulli rng ~n ~p:0.4) in
+      let sk = Skeleton.build g ~s ~params:{ Reweight.ell = n; eps = 0.5 } ~k:2 in
+      Skeleton.check_good_approximation sk ~eps:0.5)
+
+let test_skeleton_shortcut_hops () =
+  let g = random_graph ~max_n:20 42 in
+  let n = Wgraph.n g in
+  let rng = Util.Rng.create ~seed:43 in
+  let s = List.sort_uniq compare (0 :: Util.Rng.subset_bernoulli rng ~n ~p:0.5) in
+  let sk = Skeleton.build g ~s ~params:{ Reweight.ell = n; eps = 0.5 } ~k:3 in
+  (* Theorem 3.10: hop diameter of the k-shortcut graph < 4|S|/k. *)
+  let hd = Skeleton.overlay_hop_diameter sk in
+  checkb "hop diameter bound" true (hd < max 1 (Skeleton.overlay_hop_budget sk) || hd = 0)
+
+let test_skeleton_knn () =
+  let g = random_graph ~max_n:16 7 in
+  let n = Wgraph.n g in
+  let rng = Util.Rng.create ~seed:8 in
+  let s = List.sort_uniq compare (0 :: 1 :: Util.Rng.subset_bernoulli rng ~n ~p:0.5) in
+  let k = 2 in
+  let sk = Skeleton.build g ~s ~params:{ Reweight.ell = n; eps = 0.5 } ~k in
+  let b = Array.length (Skeleton.s_nodes sk) in
+  Array.iter (fun nn -> check "knn size" (min k (b - 1)) (Array.length nn)) (Skeleton.knn sk);
+  (* w'' is symmetric and dominated by w'. *)
+  let w1 = Skeleton.w_prime sk and w2 = Skeleton.w_dprime sk in
+  for i = 0 to b - 1 do
+    for j = 0 to b - 1 do
+      checkb "symmetric" true (w2.(i).(j) = w2.(j).(i));
+      checkb "shortcut only shrinks" true (w2.(i).(j) <= w1.(i).(j) +. 1e-9)
+    done
+  done
+
+let test_skeleton_membership () =
+  let g = random_graph 3 in
+  let sk = Skeleton.build g ~s:[ 0; 1 ] ~params:{ Reweight.ell = 10; eps = 0.5 } ~k:1 in
+  Alcotest.(check (option int)) "index" (Some 1) (Skeleton.s_index sk 1);
+  Alcotest.(check (option int)) "absent" None (Skeleton.s_index sk 999999)
+
+(* ------------------------------- Io -------------------------------- *)
+
+let test_io_roundtrip () =
+  let rng = rng () in
+  let g = Gen.gnp_connected ~n:15 ~p:0.25 ~weighting:(Gen.Uniform { max_w = 7 }) ~rng in
+  let g2 = Io.of_edge_list (Io.to_edge_list g) in
+  check "same n" (Wgraph.n g) (Wgraph.n g2);
+  checkb "same edges" true (Wgraph.edges g = Wgraph.edges g2)
+
+let test_io_parse () =
+  let g = Io.of_edge_list "# comment\nn 3\n0 1 5\n\n1 2 2\n" in
+  check "n" 3 (Wgraph.n g);
+  Alcotest.(check (option int)) "weight" (Some 5) (Wgraph.weight g 0 1);
+  checkb "bad input rejected" true
+    (try ignore (Io.of_edge_list "0 1 5\n"); false with Failure _ -> true);
+  checkb "garbage rejected" true
+    (try ignore (Io.of_edge_list "n 2\n0 x 1\n"); false with Failure _ -> true)
+
+let test_io_files () =
+  let rng = rng () in
+  let g = Gen.cycle ~n:6 ~weighting:(Gen.Uniform { max_w = 4 }) ~rng in
+  let path = Filename.temp_file "qcongest" ".graph" in
+  Io.save g ~path;
+  let g2 = Io.load ~path in
+  Sys.remove path;
+  checkb "roundtrip via file" true (Wgraph.edges g = Wgraph.edges g2)
+
+let test_io_dot () =
+  let rng = rng () in
+  let g = Gen.path ~n:3 ~weighting:Gen.Unit ~rng in
+  let dot = Io.to_dot ~name:"t" ~label:(fun v -> Printf.sprintf "v%d" v) g in
+  checkb "has graph header" true (String.length dot > 10);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions edge" true (contains dot "0 -- 1");
+  checkb "mentions label" true (contains dot "v2")
+
+(* --------------------------- Contraction -------------------------- *)
+
+let test_contract_simple () =
+  (* 0 -1- 1 -5- 2 -1- 3: contracting unit edges leaves two classes. *)
+  let g =
+    Wgraph.make ~n:4
+      [ { Wgraph.u = 0; v = 1; w = 1 }; { u = 1; v = 2; w = 5 }; { u = 2; v = 3; w = 1 } ]
+  in
+  let r = Contraction.contract_unit_edges g in
+  check "classes" 2 (Wgraph.n r.Contraction.graph);
+  check "edges" 1 (Wgraph.m r.Contraction.graph);
+  check "same class" r.Contraction.class_of.(0) r.Contraction.class_of.(1);
+  checkb "diff class" true (r.Contraction.class_of.(1) <> r.Contraction.class_of.(2))
+
+let test_contract_parallel_min () =
+  (* Contraction creates parallel edges; the lightest must survive. *)
+  let g =
+    Wgraph.make ~n:4
+      [
+        { Wgraph.u = 0; v = 1; w = 1 };
+        { u = 0; v = 2; w = 7 };
+        { u = 1; v = 2; w = 3 };
+        { u = 2; v = 3; w = 1 };
+      ]
+  in
+  let r = Contraction.contract_unit_edges g in
+  check "classes" 2 (Wgraph.n r.Contraction.graph);
+  let c0 = r.Contraction.class_of.(0) and c2 = r.Contraction.class_of.(2) in
+  Alcotest.(check (option int)) "min parallel" (Some 3) (Wgraph.weight r.Contraction.graph c0 c2)
+
+let prop_lemma_4_3 =
+  QCheck.Test.make ~name:"Lemma 4.3: contraction distorts D and R by at most n" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph ~max_w:5 seed in
+      Contraction.check_lemma_4_3 g)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_gnp_connected;
+      prop_tree_edges;
+      prop_dijkstra_matches_bfs_on_unit;
+      prop_dijkstra_triangle;
+      prop_bounded_hop_monotone;
+      prop_radius_diameter_sandwich;
+      prop_ecc_max_min;
+      prop_reweight_sandwich;
+      prop_skeleton_good_approx;
+      prop_lemma_4_3;
+    ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ("dist", [ Alcotest.test_case "ops" `Quick test_dist ]);
+      ( "wgraph",
+        [
+          Alcotest.test_case "build" `Quick test_wgraph_build;
+          Alcotest.test_case "parallel edges" `Quick test_wgraph_parallel_edges;
+          Alcotest.test_case "errors" `Quick test_wgraph_errors;
+          Alcotest.test_case "induced" `Quick test_wgraph_induced;
+          Alcotest.test_case "unit weights" `Quick test_unit_weights;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "cliques cycle" `Quick test_cliques_cycle;
+          Alcotest.test_case "barbell" `Quick test_barbell;
+          Alcotest.test_case "weighted-hard family" `Quick test_weighted_hard;
+        ] );
+      ( "shortest paths",
+        [
+          Alcotest.test_case "path reconstruction" `Quick test_dijkstra_path;
+          Alcotest.test_case "bounded distance" `Quick test_bounded_distance;
+          Alcotest.test_case "hop distance" `Quick test_hop_distance;
+          Alcotest.test_case "hop diameter" `Quick test_hop_diameter;
+        ] );
+      ("apsp", [ Alcotest.test_case "path graph" `Quick test_apsp_path ]);
+      ( "reweight (Lemma 3.2)",
+        [
+          Alcotest.test_case "scales" `Quick test_reweight_scales;
+          Alcotest.test_case "self distance" `Quick test_reweight_self;
+        ] );
+      ( "skeleton (Lemma 3.3)",
+        [
+          Alcotest.test_case "shortcut hop bound" `Quick test_skeleton_shortcut_hops;
+          Alcotest.test_case "knn/w'' structure" `Quick test_skeleton_knn;
+          Alcotest.test_case "membership" `Quick test_skeleton_membership;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "parse" `Quick test_io_parse;
+          Alcotest.test_case "files" `Quick test_io_files;
+          Alcotest.test_case "dot" `Quick test_io_dot;
+        ] );
+      ( "contraction (Lemma 4.3)",
+        [
+          Alcotest.test_case "simple" `Quick test_contract_simple;
+          Alcotest.test_case "parallel min" `Quick test_contract_parallel_min;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,368 @@
+(* Tests for lib/util: integer math, RNG, priority queue, statistics,
+   bitsets, union-find, tables. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---------------------------- Int_math ---------------------------- *)
+
+let test_ceil_div () =
+  check "7/2" 4 (Util.Int_math.ceil_div 7 2);
+  check "8/2" 4 (Util.Int_math.ceil_div 8 2);
+  check "0/5" 0 (Util.Int_math.ceil_div 0 5);
+  check "1/5" 1 (Util.Int_math.ceil_div 1 5);
+  Alcotest.check_raises "negative" (Invalid_argument "Int_math.ceil_div") (fun () ->
+      ignore (Util.Int_math.ceil_div (-1) 2))
+
+let test_pow () =
+  check "2^10" 1024 (Util.Int_math.pow 2 10);
+  check "3^0" 1 (Util.Int_math.pow 3 0);
+  check "5^3" 125 (Util.Int_math.pow 5 3);
+  check "1^100" 1 (Util.Int_math.pow 1 100);
+  check "0^3" 0 (Util.Int_math.pow 0 3)
+
+let test_ilog2 () =
+  check "ilog2 1" 0 (Util.Int_math.ilog2 1);
+  check "ilog2 2" 1 (Util.Int_math.ilog2 2);
+  check "ilog2 3" 1 (Util.Int_math.ilog2 3);
+  check "ilog2 1024" 10 (Util.Int_math.ilog2 1024);
+  check "ilog2 1025" 10 (Util.Int_math.ilog2 1025);
+  check "ceil 1" 0 (Util.Int_math.ilog2_ceil 1);
+  check "ceil 3" 2 (Util.Int_math.ilog2_ceil 3);
+  check "ceil 1024" 10 (Util.Int_math.ilog2_ceil 1024);
+  check "ceil 1025" 11 (Util.Int_math.ilog2_ceil 1025)
+
+let prop_ilog2 =
+  QCheck.Test.make ~name:"ilog2 brackets n" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun n ->
+      let l = Util.Int_math.ilog2 n in
+      Util.Int_math.pow 2 l <= n && n < Util.Int_math.pow 2 (l + 1))
+
+let prop_isqrt =
+  QCheck.Test.make ~name:"isqrt brackets n" ~count:500
+    QCheck.(int_range 0 10_000_000)
+    (fun n ->
+      let s = Util.Int_math.isqrt n in
+      (s * s) <= n && n < (s + 1) * (s + 1))
+
+let test_clamp () =
+  check "below" 3 (Util.Int_math.clamp ~lo:3 ~hi:7 1);
+  check "above" 7 (Util.Int_math.clamp ~lo:3 ~hi:7 9);
+  check "inside" 5 (Util.Int_math.clamp ~lo:3 ~hi:7 5);
+  check "even id" 4 (Util.Int_math.round_to_even 4);
+  check "odd up" 6 (Util.Int_math.round_to_even 5)
+
+let test_list_aggregates () =
+  check "sum" 10 (Util.Int_math.sum [ 1; 2; 3; 4 ]);
+  check "max" 9 (Util.Int_math.max_list [ 3; 9; 1 ]);
+  check "min" 1 (Util.Int_math.min_list [ 3; 9; 1 ])
+
+(* ------------------------------ Rng ------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create ~seed:5 and b = Util.Rng.create ~seed:5 in
+  for _ = 1 to 50 do
+    check "same stream" (Util.Rng.int a 1000) (Util.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create ~seed:5 in
+  let child = Util.Rng.split a in
+  (* Child consumption must not perturb the parent's determinism
+     relative to a parent that also split once. *)
+  let b = Util.Rng.create ~seed:5 in
+  let _child_b = Util.Rng.split b in
+  for _ = 1 to 10 do
+    ignore (Util.Rng.int child 100)
+  done;
+  for _ = 1 to 20 do
+    check "parent stream preserved" (Util.Rng.int a 1000) (Util.Rng.int b 1000)
+  done
+
+let test_sample_without_replacement () =
+  let rng = Util.Rng.create ~seed:1 in
+  for _ = 1 to 50 do
+    let k = Util.Rng.int rng 20 in
+    let l = Util.Rng.sample_without_replacement rng ~k ~n:20 in
+    check "size" k (List.length l);
+    checkb "distinct" true (List.length (List.sort_uniq compare l) = k);
+    checkb "sorted" true (List.sort compare l = l);
+    List.iter (fun v -> checkb "in range" true (v >= 0 && v < 20)) l
+  done
+
+let test_subset_bernoulli_stats () =
+  let rng = Util.Rng.create ~seed:2 in
+  let total = ref 0 in
+  let trials = 200 and n = 100 and p = 0.3 in
+  for _ = 1 to trials do
+    total := !total + List.length (Util.Rng.subset_bernoulli rng ~n ~p)
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  checkb "mean near np" true (abs_float (mean -. 30.0) < 2.0)
+
+let test_bernoulli_extremes () =
+  let rng = Util.Rng.create ~seed:3 in
+  checkb "p=0" false (Util.Rng.bernoulli rng ~p:0.0);
+  checkb "p=1" true (Util.Rng.bernoulli rng ~p:1.0)
+
+let test_shuffle_permutation () =
+  let rng = Util.Rng.create ~seed:4 in
+  let a = Array.init 30 (fun i -> i) in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  checkb "permutation" true (sorted = Array.init 30 (fun i -> i))
+
+(* ----------------------------- Pqueue ----------------------------- *)
+
+let test_pqueue_basic () =
+  let q = Util.Pqueue.create ~n:10 ~compare in
+  checkb "empty" true (Util.Pqueue.is_empty q);
+  Util.Pqueue.insert q ~key:3 ~prio:30;
+  Util.Pqueue.insert q ~key:1 ~prio:10;
+  Util.Pqueue.insert q ~key:2 ~prio:20;
+  check "size" 3 (Util.Pqueue.size q);
+  checkb "mem" true (Util.Pqueue.mem q 1);
+  (match Util.Pqueue.pop_min q with
+  | Some (k, p) ->
+    check "min key" 1 k;
+    check "min prio" 10 p
+  | None -> Alcotest.fail "empty");
+  Util.Pqueue.decrease q ~key:3 ~prio:5;
+  (match Util.Pqueue.pop_min q with
+  | Some (k, _) -> check "after decrease" 3 k
+  | None -> Alcotest.fail "empty");
+  checkb "mem gone" false (Util.Pqueue.mem q 3)
+
+let test_pqueue_errors () =
+  let q = Util.Pqueue.create ~n:4 ~compare in
+  Util.Pqueue.insert q ~key:0 ~prio:1;
+  Alcotest.check_raises "dup" (Invalid_argument "Pqueue.insert: key present") (fun () ->
+      Util.Pqueue.insert q ~key:0 ~prio:2);
+  Alcotest.check_raises "absent" (Invalid_argument "Pqueue.decrease: key absent") (fun () ->
+      Util.Pqueue.decrease q ~key:3 ~prio:0);
+  Alcotest.check_raises "bigger" (Invalid_argument "Pqueue.decrease: larger priority")
+    (fun () -> Util.Pqueue.decrease q ~key:0 ~prio:99)
+
+let prop_pqueue_heapsort =
+  QCheck.Test.make ~name:"pqueue drains in sorted order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 1000))
+    (fun prios ->
+      let q = Util.Pqueue.create ~n:(List.length prios + 1) ~compare in
+      List.iteri (fun i p -> Util.Pqueue.insert q ~key:i ~prio:p) prios;
+      let rec drain acc =
+        match Util.Pqueue.pop_min q with None -> List.rev acc | Some (_, p) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare prios)
+
+let prop_pqueue_insert_or_decrease =
+  QCheck.Test.make ~name:"insert_or_decrease keeps minimum" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair (int_range 0 9) (int_range 0 1000)))
+    (fun ops ->
+      let q = Util.Pqueue.create ~n:10 ~compare in
+      let best = Hashtbl.create 10 in
+      List.iter
+        (fun (k, p) ->
+          Util.Pqueue.insert_or_decrease q ~key:k ~prio:p;
+          match Hashtbl.find_opt best k with
+          | Some b when b <= p -> ()
+          | _ -> Hashtbl.replace best k p)
+        ops;
+      Hashtbl.fold
+        (fun k p acc -> acc && Util.Pqueue.priority q k = Some p)
+        best true)
+
+(* ----------------------------- Stats ------------------------------ *)
+
+let test_stats_basic () =
+  checkf "mean" 2.5 (Util.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  checkf "median odd" 2.0 (Util.Stats.median [ 3.0; 1.0; 2.0 ]);
+  checkf "median even" 2.5 (Util.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  checkf "stddev const" 0.0 (Util.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  checkf "min" 1.0 (Util.Stats.minf [ 3.0; 1.0 ]);
+  checkf "max" 3.0 (Util.Stats.maxf [ 3.0; 1.0 ])
+
+let test_linear_fit_exact () =
+  let pts = List.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
+  let fit = Util.Stats.linear_fit pts in
+  checkf "slope" 3.0 fit.Util.Stats.slope;
+  checkf "intercept" 1.0 fit.Util.Stats.intercept;
+  checkf "r2" 1.0 fit.Util.Stats.r2
+
+let test_loglog_fit_power_law () =
+  (* y = 7·x^{2.5} must fit slope 2.5 exactly. *)
+  let pts = List.init 8 (fun i -> let x = float_of_int (i + 2) in (x, 7.0 *. (x ** 2.5))) in
+  let fit = Util.Stats.loglog_fit pts in
+  Alcotest.(check (float 1e-6)) "exponent" 2.5 fit.Util.Stats.slope
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "p50" 50.0 (Util.Stats.percentile xs ~p:50.0);
+  checkf "p100" 100.0 (Util.Stats.percentile xs ~p:100.0)
+
+(* ------------------------------- Lp -------------------------------- *)
+
+let test_lp_basic () =
+  match
+    Util.Lp.solve ~c:[| -1.0; -1.0 |]
+      ~a:[| [| 1.0; 1.0 |]; [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]
+      ~b:[| 4.0; 2.0; 3.0 |]
+  with
+  | Util.Lp.Optimal { objective; solution } ->
+    checkf "objective" (-4.0) objective;
+    checkf "x+y=4" 4.0 (solution.(0) +. solution.(1))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_lp_infeasible () =
+  checkb "x<=-1,x>=0 infeasible" true
+    (Util.Lp.solve ~c:[| 1.0 |] ~a:[| [| 1.0 |] |] ~b:[| -1.0 |] = Util.Lp.Infeasible)
+
+let test_lp_unbounded () =
+  checkb "min -x, -x<=1 unbounded" true
+    (Util.Lp.solve ~c:[| -1.0 |] ~a:[| [| -1.0 |] |] ~b:[| 1.0 |] = Util.Lp.Unbounded)
+
+let test_lp_negative_rhs () =
+  (* min x s.t. x >= 1 (written -x <= -1): needs phase 1. *)
+  match Util.Lp.solve ~c:[| 1.0 |] ~a:[| [| -1.0 |] |] ~b:[| -1.0 |] with
+  | Util.Lp.Optimal { objective; _ } -> checkf "min is 1" 1.0 objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_minimax_interpolation () =
+  (* Degree >= points-1 interpolates exactly. *)
+  let e, coeffs = Util.Lp.minimax_fit ~degree:2 ~points:[ (0.0, 1.0); (1.0, 3.0); (2.0, 2.0) ] in
+  checkb "eps ~ 0" true (e < 1e-7);
+  checkf "hits middle point" 3.0 (Util.Lp.eval_minimax ~coeffs ~lo:0.0 ~hi:2.0 1.0)
+
+let test_minimax_constant () =
+  let e, _ = Util.Lp.minimax_fit ~degree:0 ~points:[ (0.0, 0.0); (1.0, 4.0) ] in
+  checkf "best constant error" 2.0 e
+
+let prop_minimax_monotone_in_degree =
+  QCheck.Test.make ~name:"minimax error decreases with degree" ~count:40
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Util.Rng.create ~seed in
+      let k = 3 + Util.Rng.int rng 5 in
+      let points =
+        List.init (k + 1) (fun i -> (float_of_int i, Util.Rng.float rng 4.0))
+      in
+      let errs = List.init (k + 1) (fun d -> fst (Util.Lp.minimax_fit ~degree:d ~points)) in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a >= b -. 1e-7 && mono rest
+        | _ -> true
+      in
+      mono errs && List.nth errs k < 1e-6)
+
+(* ----------------------------- Bitset ----------------------------- *)
+
+let test_bitset () =
+  let b = Util.Bitset.create 100 in
+  check "card 0" 0 (Util.Bitset.cardinal b);
+  Util.Bitset.add b 0;
+  Util.Bitset.add b 63;
+  Util.Bitset.add b 64;
+  Util.Bitset.add b 99;
+  checkb "mem" true (Util.Bitset.mem b 63);
+  checkb "not mem" false (Util.Bitset.mem b 50);
+  check "card" 4 (Util.Bitset.cardinal b);
+  Util.Bitset.remove b 63;
+  checkb "removed" false (Util.Bitset.mem b 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 64; 99 ] (Util.Bitset.to_list b);
+  let c = Util.Bitset.copy b in
+  checkb "copy equal" true (Util.Bitset.equal b c);
+  Util.Bitset.add c 1;
+  checkb "copy detached" false (Util.Bitset.equal b c)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list roundtrip" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range 0 199))
+    (fun l ->
+      let b = Util.Bitset.of_list 200 l in
+      Util.Bitset.to_list b = List.sort_uniq compare l)
+
+(* --------------------------- Union_find --------------------------- *)
+
+let test_union_find () =
+  let uf = Util.Union_find.create 10 in
+  check "classes" 10 (Util.Union_find.count_classes uf);
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 1 2;
+  checkb "same" true (Util.Union_find.same uf 0 2);
+  checkb "diff" false (Util.Union_find.same uf 0 3);
+  check "classes after" 8 (Util.Union_find.count_classes uf);
+  Alcotest.(check (list int)) "members" [ 0; 1; 2 ] (Util.Union_find.class_members uf 1)
+
+(* ----------------------------- Table ------------------------------ *)
+
+let test_table_render () =
+  let t = Util.Table.create ~headers:[ "a"; "bb" ] in
+  Util.Table.add_row t [ "x"; "y" ];
+  Util.Table.add_separator t;
+  Util.Table.add_row t [ "long-cell"; "z" ];
+  let s = Util.Table.render t in
+  checkb "contains header" true (String.length s > 0);
+  checkb "has rule" true (String.contains s '+');
+  Alcotest.check_raises "width" (Invalid_argument "Table.add_row: width mismatch") (fun () ->
+      Util.Table.add_row t [ "only-one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Util.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Util.Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "bool" "yes" (Util.Table.cell_bool true)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+    [ prop_ilog2; prop_isqrt; prop_pqueue_heapsort; prop_pqueue_insert_or_decrease;
+      prop_bitset_roundtrip; prop_minimax_monotone_in_degree ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "int_math",
+        [
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "ilog2" `Quick test_ilog2;
+          Alcotest.test_case "clamp/round" `Quick test_clamp;
+          Alcotest.test_case "list aggregates" `Quick test_list_aggregates;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "subset bernoulli stats" `Quick test_subset_bernoulli_stats;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "basic" `Quick test_pqueue_basic;
+          Alcotest.test_case "errors" `Quick test_pqueue_errors;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
+          Alcotest.test_case "loglog fit" `Quick test_loglog_fit_power_law;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "lp",
+        [
+          Alcotest.test_case "basic optimum" `Quick test_lp_basic;
+          Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+          Alcotest.test_case "negative rhs (phase 1)" `Quick test_lp_negative_rhs;
+          Alcotest.test_case "minimax interpolation" `Quick test_minimax_interpolation;
+          Alcotest.test_case "minimax constant" `Quick test_minimax_constant;
+        ] );
+      ("bitset", [ Alcotest.test_case "ops" `Quick test_bitset ]);
+      ("union_find", [ Alcotest.test_case "ops" `Quick test_union_find ]);
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ("properties", qsuite);
+    ]
