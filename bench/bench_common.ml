@@ -39,3 +39,32 @@ let fmt_large x =
   if x >= 1e7 then Printf.sprintf "%.3g" x
   else if Float.is_integer x then Printf.sprintf "%.0f" x
   else Printf.sprintf "%.1f" x
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trace artifacts.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let artifact_dir () =
+  let dir = "bench_artifacts" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
+(* Dump a trace (with its fault counters) as [<name>.trace.json] under
+   bench_artifacts/, so downstream tooling can parse runs without
+   scraping the console tables. *)
+let write_trace_json ~name trace =
+  let path = Filename.concat (artifact_dir ()) (name ^ ".trace.json") in
+  let oc = open_out path in
+  output_string oc (Congest.Engine.trace_to_json trace);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" path
+
+(* Same for a multi-phase runner record. *)
+let write_runner_json ~name runner =
+  let path = Filename.concat (artifact_dir ()) (name ^ ".phases.json") in
+  let oc = open_out path in
+  output_string oc (Congest.Runner.to_json runner);
+  output_char oc '\n';
+  close_out oc;
+  note "wrote %s" path

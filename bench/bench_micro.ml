@@ -90,13 +90,63 @@ let test_thm12 =
   Test.make ~name:"thm1.2:lower-bound-chain(h=8)"
     (Staged.stage (fun () -> ignore (Lowerbound.Theorem.bound_for ~h:8)))
 
+let sweep_graph () =
+  Graphlib.Gen.gnp_connected ~n:24 ~p:0.2
+    ~weighting:(Graphlib.Gen.Uniform { max_w = 8 })
+    ~rng:(Util.Rng.create ~seed:11)
+
+let test_reliable_bfs =
+  let g = sweep_graph () in
+  let faults = Congest.Fault.make ~seed:7 ~drop:0.1 () in
+  Test.make ~name:"fault:reliable-bfs(n=24,drop=0.1)"
+    (Staged.stage (fun () -> ignore (Congest.Tree.build ~faults g ~root:0)))
+
 let benchmarks =
   Test.make_grouped ~name:"paper-artifacts"
     [ test_table1; test_table2; test_fig1; test_fig2; test_fig3; test_fig4; test_thm11;
-      test_thm12 ]
+      test_thm12; test_reliable_bfs ]
+
+(* Loss sweep: reliable BFS-tree construction under increasing seeded
+   message-drop rates. The engine's trace is deterministic for a fixed
+   seed, so the table below is a measurement of the protocol (rounds /
+   messages / retransmissions), not of the host machine; each row's
+   trace also lands in bench_artifacts/ as JSON. *)
+let loss_sweep () =
+  Bench_common.subsection "Loss sweep: reliable BFS under seeded drop";
+  let g = sweep_graph () in
+  let base_tree, base = Congest.Tree.build g ~root:0 in
+  let t =
+    Util.Table.create_aligned
+      ~headers:
+        [ ("drop", Util.Table.Right); ("rounds", Util.Table.Right);
+          ("messages", Util.Table.Right); ("dropped", Util.Table.Right);
+          ("msg overhead", Util.Table.Right); ("levels ok", Util.Table.Left) ]
+  in
+  Util.Table.add_row t
+    [ "none"; string_of_int base.Congest.Engine.rounds;
+      string_of_int base.Congest.Engine.messages; "0"; "1.00x"; "yes" ];
+  List.iter
+    (fun drop ->
+      let faults = Congest.Fault.make ~seed:7 ~drop () in
+      let tree, tr = Congest.Tree.build ~faults g ~root:0 in
+      let ok = tree.Congest.Tree.level = base_tree.Congest.Tree.level in
+      Util.Table.add_row t
+        [ Printf.sprintf "%.2f" drop; string_of_int tr.Congest.Engine.rounds;
+          string_of_int tr.Congest.Engine.messages;
+          string_of_int tr.Congest.Engine.dropped;
+          Printf.sprintf "%.2fx"
+            (float_of_int tr.Congest.Engine.messages /. float_of_int base.Congest.Engine.messages);
+          (if ok then "yes" else "NO") ];
+      Bench_common.write_trace_json
+        ~name:(Printf.sprintf "loss_sweep_drop_%02d" (int_of_float ((drop *. 100.) +. 0.5)))
+        tr)
+    [ 0.0; 0.05; 0.1; 0.2; 0.3 ];
+  Util.Table.print t;
+  Bench_common.write_trace_json ~name:"loss_sweep_baseline" base
 
 let run () =
   Bench_common.section "BECHAMEL MICRO-BENCHMARKS — one per table/figure";
+  loss_sweep ();
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = [ Instance.monotonic_clock ] in
   let raw = Benchmark.all cfg instances benchmarks in

@@ -8,6 +8,8 @@
      unweighted         — run the Le Gall–Magniez-style quantum search;
      gadget             — build the Section 4 lower-bound gadget and
                           check the diameter/radius gap;
+     faults             — BFS under a seeded fault adversary with the
+                          reliable-delivery wrapper, vs fault-free;
      params             — print Eq. (1)/(2) parameters and formulas. *)
 
 open Cmdliner
@@ -165,6 +167,108 @@ let gadget_cmd =
   Cmd.v (Cmd.info "gadget" ~doc:"Build the Section 4 lower-bound gadget and verify the gaps.")
     Term.(const run_gadget $ h_arg $ density_arg $ seed_arg)
 
+let run_faults input family n max_w cliques seed drop dup delay crashes strict bandwidth
+    fault_seed timeout json =
+  let g = make_graph ?input family n max_w cliques seed in
+  describe g;
+  let faults =
+    try
+      Congest.Fault.make ~seed:fault_seed ~drop ~duplicate:dup ~delay ~crashes
+        ~strict_bandwidth:strict ()
+    with Invalid_argument msg ->
+      Printf.eprintf "qcongest: %s\n" msg;
+      exit 2
+  in
+  Format.printf "adversary: %a@." Congest.Fault.pp faults;
+  let base_tree, base = Congest.Tree.build ~bandwidth g ~root:0 in
+  let config = { Congest.Reliable.default_config with Congest.Reliable.timeout } in
+  let tree, tr =
+    try Congest.Tree.build ~bandwidth ~faults ~reliable:config g ~root:0
+    with Invalid_argument msg ->
+      Printf.eprintf "qcongest: %s\n" msg;
+      exit 2
+  in
+  Format.printf "fault-free BFS : %a@." Congest.Engine.pp_trace base;
+  Format.printf "reliable BFS   : %a@." Congest.Engine.pp_trace tr;
+  Printf.printf "overhead: %.2fx rounds, %.2fx messages\n"
+    (float_of_int tr.Congest.Engine.rounds /. float_of_int base.Congest.Engine.rounds)
+    (float_of_int tr.Congest.Engine.messages /. float_of_int base.Congest.Engine.messages);
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun v l -> if l <> base_tree.Congest.Tree.level.(v) then incr mismatches)
+    tree.Congest.Tree.level;
+  (if !mismatches = 0 then
+     print_endline "BFS levels identical to the fault-free run."
+   else
+     (* Expected as soon as nodes fail-stop; any other cause is a bug. *)
+     Printf.printf "BFS levels differ on %d node(s) (crashed: %d).\n" !mismatches
+       tr.Congest.Engine.crashed);
+  if json then print_endline (Congest.Engine.trace_to_json tr)
+
+let faults_cmd =
+  let drop_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability in [0,1].")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability in [0,1].")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"R" ~doc:"Maximum extra delivery delay in rounds (uniform jitter).")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:':' int int) []
+      & info [ "crash" ] ~docv:"NODE:ROUND"
+          ~doc:"Fail-stop crash of $(i,NODE) at the start of $(i,ROUND); repeatable.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict-bandwidth" ]
+          ~doc:
+            "Drop (instead of just counting) words that exceed the per-edge bandwidth. The \
+             reliable wrapper's data messages carry a 1-word header, so pair this with \
+             $(b,--bandwidth) >= 2 or nothing gets through.")
+  in
+  let bandwidth_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "bandwidth" ] ~docv:"B" ~doc:"Per-edge per-round bandwidth in words.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault adversary's RNG.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt int Congest.Reliable.default_config.Congest.Reliable.timeout
+      & info [ "timeout" ] ~docv:"R" ~doc:"Retransmission timeout in rounds (>= 3).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Also print the faulty trace as JSON.")
+  in
+  let term =
+    Term.(
+      const run_faults $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg
+      $ drop_arg $ dup_arg $ delay_arg $ crash_arg $ strict_arg $ bandwidth_arg $ fault_seed_arg
+      $ timeout_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run BFS-tree construction under a seeded fault adversary (drop/duplicate/delay/crash) \
+          with the reliable-delivery wrapper, and compare against the fault-free run.")
+    term
+
 let run_params n d =
   let p = Core.Params.of_graph_params ~n ~d_hat:d () in
   Format.printf "Eq. (1): %a@." Core.Params.pp p;
@@ -194,4 +298,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; params_cmd ]))
+          [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; faults_cmd;
+            params_cmd ]))

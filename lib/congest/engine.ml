@@ -25,11 +25,15 @@ type trace = {
   max_edge_load : int;
   congestion_violations : int;
   activations : int;
+  dropped : int;
+  delayed : int;
+  duplicated : int;
+  crashed : int;
 }
 
 let empty_trace =
   { rounds = 0; messages = 0; words = 0; max_edge_load = 0; congestion_violations = 0;
-    activations = 0 }
+    activations = 0; dropped = 0; delayed = 0; duplicated = 0; crashed = 0 }
 
 let add_traces a b =
   {
@@ -39,26 +43,57 @@ let add_traces a b =
     max_edge_load = max a.max_edge_load b.max_edge_load;
     congestion_violations = a.congestion_violations + b.congestion_violations;
     activations = a.activations + b.activations;
+    dropped = a.dropped + b.dropped;
+    delayed = a.delayed + b.delayed;
+    duplicated = a.duplicated + b.duplicated;
+    crashed = max a.crashed b.crashed;
   }
 
 let pp_trace ppf t =
   Format.fprintf ppf
     "rounds=%d messages=%d words=%d max_edge_load=%d violations=%d activations=%d" t.rounds
-    t.messages t.words t.max_edge_load t.congestion_violations t.activations
+    t.messages t.words t.max_edge_load t.congestion_violations t.activations;
+  if t.dropped <> 0 || t.delayed <> 0 || t.duplicated <> 0 || t.crashed <> 0 then
+    Format.fprintf ppf " dropped=%d delayed=%d duplicated=%d crashed=%d" t.dropped t.delayed
+      t.duplicated t.crashed
 
-exception Round_limit_exceeded of string
+let trace_to_json t =
+  let b = Buffer.create 160 in
+  Buffer.add_char b '{';
+  let field name v =
+    if Buffer.length b > 1 then Buffer.add_char b ',';
+    Buffer.add_string b (Printf.sprintf "\"%s\":%d" name v)
+  in
+  field "rounds" t.rounds;
+  field "messages" t.messages;
+  field "words" t.words;
+  field "max_edge_load" t.max_edge_load;
+  field "congestion_violations" t.congestion_violations;
+  field "activations" t.activations;
+  field "dropped" t.dropped;
+  field "delayed" t.delayed;
+  field "duplicated" t.duplicated;
+  field "crashed" t.crashed;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+type limit_info = { protocol : string; round_reached : int; partial : trace }
+
+exception Round_limit_exceeded of limit_info
 
 type 'm mailbox = { mutable inbox : 'm envelope list (* reversed during accumulation *) }
 
-let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
+let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
   let n = Graphlib.Wgraph.n g in
+  if n = 0 then invalid_arg "Engine.run: empty graph";
   let max_w = Graphlib.Wgraph.max_weight g in
   let views =
     Array.init n (fun id ->
         { Node_view.id; n; max_w; neighbors = Graphlib.Wgraph.neighbors g id })
   in
   let boxes = Array.init n (fun _ -> { inbox = [] }) in
-  (* Wake-up calendar: round -> nodes (possibly with duplicates). *)
+  (* Wake-up calendar: round -> nodes (possibly with duplicates; a node
+     scheduled several times for one round activates once). *)
   let wake_tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   let schedule_wake ~now node rounds =
     List.iter
@@ -69,13 +104,41 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
         | None -> Hashtbl.replace wake_tbl r (ref [ node ]))
       rounds
   in
-  (* Per-round per-directed-edge load, reset every round. *)
+  (* Per-round per-directed-edge load and the set of edges already past
+     the bandwidth this round (so one overloaded edge-round counts as
+     exactly one violation no matter how the overload accumulates). *)
   let load : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let violated : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let messages = ref 0 and words = ref 0 in
   let max_edge_load = ref 0 and violations = ref 0 in
   let activations = ref 0 in
+  let dropped = ref 0 and delayed = ref 0 and duplicated = ref 0 in
   let last_send_round = ref (-1) in
+  let last_arrival_round = ref 0 in
   let any_sends_this_round = ref false in
+  let record_violation key =
+    if not (Hashtbl.mem violated key) then begin
+      Hashtbl.replace violated key ();
+      incr violations
+    end
+  in
+  (* Adversary state (absent on the default, fault-free path). *)
+  let adversary =
+    match faults with
+    | None -> None
+    | Some f -> Some (f, Util.Rng.create ~seed:f.Fault.seed, Fault.crash_rounds f ~n)
+  in
+  let crashed_at id =
+    match adversary with None -> max_int | Some (_, _, cr) -> cr.(id)
+  in
+  (* Delayed-delivery calendar (fault path only): arrival round ->
+     (dst, envelope) list, reversed during accumulation. *)
+  let arrivals : (int, (int * 'm envelope) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let enqueue_arrival ~arrival dst env =
+    match Hashtbl.find_opt arrivals arrival with
+    | Some l -> l := (dst, env) :: !l
+    | None -> Hashtbl.replace arrivals arrival (ref [ (dst, env) ])
+  in
   let deliver ~round src (dst, msg) =
     if not (Node_view.is_neighbor views.(src) dst) then
       invalid_arg (Printf.sprintf "%s: node %d sent to non-neighbor %d" proto.name src dst);
@@ -87,16 +150,90 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
     last_send_round := round;
     let key = (src * n) + dst in
     let cur = Option.value ~default:0 (Hashtbl.find_opt load key) in
-    let cur' = cur + sz in
-    Hashtbl.replace load key cur';
-    if cur' > !max_edge_load then max_edge_load := cur';
-    if cur' > bandwidth && cur <= bandwidth then incr violations;
-    (match on_message with Some f -> f ~round ~src ~dst ~words:sz | None -> ());
-    boxes.(dst).inbox <- { src; msg } :: boxes.(dst).inbox
+    match adversary with
+    | None ->
+      let cur' = cur + sz in
+      Hashtbl.replace load key cur';
+      if cur' > !max_edge_load then max_edge_load := cur';
+      if cur' > bandwidth then record_violation key;
+      (match on_message with Some f -> f ~round ~src ~dst ~words:sz | None -> ());
+      boxes.(dst).inbox <- { src; msg } :: boxes.(dst).inbox
+    | Some (f, rng, _) ->
+      if f.Fault.strict_bandwidth && cur + sz > bandwidth then begin
+        (* NIC-enforced bandwidth: the whole message is dropped at the
+           sender; the edge-round is recorded as violated exactly once. *)
+        record_violation key;
+        incr dropped
+      end
+      else begin
+        let cur' = cur + sz in
+        Hashtbl.replace load key cur';
+        if cur' > !max_edge_load then max_edge_load := cur';
+        if cur' > bandwidth then record_violation key;
+        (match on_message with Some h -> h ~round ~src ~dst ~words:sz | None -> ());
+        if f.Fault.drop > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.drop then incr dropped
+        else begin
+          let copies =
+            if f.Fault.duplicate > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.duplicate then begin
+              incr duplicated;
+              2
+            end
+            else 1
+          in
+          for _ = 1 to copies do
+            let jitter =
+              if f.Fault.delay > 0 then Util.Rng.int_in rng ~lo:0 ~hi:f.Fault.delay else 0
+            in
+            if jitter > 0 then incr delayed;
+            enqueue_arrival ~arrival:(round + 1 + jitter) dst { src; msg }
+          done
+        end
+      end
   in
-  if n = 0 then invalid_arg "Engine.run: empty graph";
+  (* Move every message due at round [r] into its inbox; messages to a
+     node already crashed at [r] are lost. Returns [true] if anything
+     was delivered. *)
+  let flush_arrivals r =
+    match Hashtbl.find_opt arrivals r with
+    | None -> false
+    | Some l ->
+      Hashtbl.remove arrivals r;
+      let delivered = ref false in
+      List.iter
+        (fun (dst, env) ->
+          if crashed_at dst <= r then incr dropped
+          else begin
+            delivered := true;
+            if r > !last_arrival_round then last_arrival_round := r;
+            boxes.(dst).inbox <- env :: boxes.(dst).inbox
+          end)
+        (List.rev !l);
+      !delivered
+  in
+  let round = ref 0 in
+  let current_trace () =
+    let crashed =
+      match adversary with
+      | None -> 0
+      | Some (_, _, cr) ->
+        Array.fold_left (fun acc r -> if r <= !round then acc + 1 else acc) 0 cr
+    in
+    {
+      rounds = max (!last_send_round + 1) !last_arrival_round;
+      messages = !messages;
+      words = !words;
+      max_edge_load = !max_edge_load;
+      congestion_violations = !violations;
+      activations = !activations;
+      dropped = !dropped;
+      delayed = !delayed;
+      duplicated = !duplicated;
+      crashed;
+    }
+  in
   (* Round 0: init everyone (in id order). *)
   Hashtbl.reset load;
+  Hashtbl.reset violated;
   any_sends_this_round := false;
   let apply_init id (s, act) =
     incr activations;
@@ -120,30 +257,38 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
     done;
     !acc
   in
-  let round = ref 0 in
   let continue = ref true in
   while !continue do
     (* Decide the next round with activity. *)
-    let msg_round = if !any_sends_this_round then Some (!round + 1) else None in
-    let wake_round =
+    let msg_round =
+      if adversary = None && !any_sends_this_round then Some (!round + 1) else None
+    in
+    let min_key tbl =
       Hashtbl.fold
         (fun r _ acc ->
           if r > !round then match acc with Some a -> Some (min a r) | None -> Some r else acc)
-        wake_tbl None
+        tbl None
     in
-    let next_round =
-      match (msg_round, wake_round) with
-      | None, None -> None
-      | Some a, None -> Some a
-      | None, Some b -> Some b
+    let wake_round = min_key wake_tbl in
+    let arrival_round = if adversary = None then None else min_key arrivals in
+    let min_opt a b =
+      match (a, b) with
+      | None, x | x, None -> x
       | Some a, Some b -> Some (min a b)
     in
-    match next_round with
+    match min_opt msg_round (min_opt wake_round arrival_round) with
     | None -> continue := false
     | Some r ->
-      if r > max_rounds then raise (Round_limit_exceeded proto.name);
+      if r > max_rounds then
+        raise
+          (Round_limit_exceeded
+             { protocol = proto.name; round_reached = r; partial = current_trace () });
       (* Collect the active set: inbox recipients plus due wake-ups. *)
-      let from_inbox = if r = !round + 1 then next_active_from_inboxes () else [] in
+      let flushed = adversary <> None && flush_arrivals r in
+      let from_inbox =
+        if flushed || (adversary = None && r = !round + 1) then next_active_from_inboxes ()
+        else []
+      in
       (* If we fast-forwarded past round+1, inboxes must be empty. *)
       let from_wake =
         match Hashtbl.find_opt wake_tbl r with
@@ -152,7 +297,11 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
           List.sort_uniq compare !l
         | None -> []
       in
-      let active = List.sort_uniq compare (from_inbox @ from_wake) in
+      let active =
+        List.filter
+          (fun id -> crashed_at id > r)
+          (List.sort_uniq compare (from_inbox @ from_wake))
+      in
       (* Snapshot and clear inboxes before running handlers so that
          messages sent in round r arrive in round r+1. *)
       let snapshots =
@@ -165,6 +314,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
       in
       round := r;
       Hashtbl.reset load;
+      Hashtbl.reset violated;
       any_sends_this_round := false;
       List.iter
         (fun (id, inbox) ->
@@ -175,14 +325,4 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message g proto =
           schedule_wake ~now:r id act.wakes)
         snapshots
   done;
-  let trace =
-    {
-      rounds = !last_send_round + 1;
-      messages = !messages;
-      words = !words;
-      max_edge_load = !max_edge_load;
-      congestion_violations = !violations;
-      activations = !activations;
-    }
-  in
-  (states, trace)
+  (states, current_trace ())

@@ -8,9 +8,17 @@
     in O(1), so simulated round counts are decoupled from wall time.
 
     Bandwidth is accounted per directed edge per round in words
-    (1 word = Θ(log n) bits, the CONGEST bandwidth [B]). Overloads are
-    recorded in the trace rather than enforced; tests assert that the
-    protocols stay within their claimed budgets. *)
+    (1 word = Θ(log n) bits, the CONGEST bandwidth [B]). By default
+    overloads are recorded in the trace rather than enforced; tests
+    assert that the protocols stay within their claimed budgets.
+
+    An optional {!Fault} configuration turns the perfect network into
+    an adversarial one: messages may be dropped, delayed or
+    duplicated, nodes may fail-stop, and bandwidth may be enforced
+    (excess words dropped at message granularity). The adversary is
+    seeded, so faulty runs are exactly reproducible; with [?faults]
+    unset the execution is bit-for-bit the historical fault-free
+    semantics. *)
 
 type 'm envelope = { src : int; msg : 'm }
 
@@ -40,35 +48,73 @@ type ('s, 'm) protocol = {
 type trace = {
   rounds : int;
       (** Communication rounds consumed: 1 + the last round in which a
-          message was sent (0 for purely local protocols). *)
-  messages : int;  (** Total messages sent. *)
-  words : int;  (** Total words sent. *)
+          message was sent, extended to the last faulty *delivery*
+          round when delay jitter is injected (0 for purely local
+          protocols). *)
+  messages : int;  (** Total messages sent by protocol handlers
+                       (includes messages later lost to faults). *)
+  words : int;  (** Total words sent by protocol handlers. *)
   max_edge_load : int;
-      (** Max words crossing one directed edge in one round. *)
+      (** Max words crossing one directed edge in one round. Under
+          strict bandwidth this never exceeds the bandwidth. *)
   congestion_violations : int;
-      (** Directed-edge-rounds whose load exceeded the bandwidth. *)
+      (** Directed-edge-rounds whose load exceeded the bandwidth —
+          counted once per edge-round however the overload
+          accumulates. *)
   activations : int;  (** Total handler invocations (simulation work). *)
+  dropped : int;
+      (** Messages lost: random drops, strict-bandwidth drops, and
+          deliveries to already-crashed nodes. 0 without faults. *)
+  delayed : int;
+      (** Message copies that suffered extra delivery jitter. *)
+  duplicated : int;  (** Extra network-injected copies. *)
+  crashed : int;
+      (** Nodes whose fail-stop round fell within the simulated
+          horizon. *)
 }
 
 val empty_trace : trace
 
 val add_traces : trace -> trace -> trace
-(** Sequential composition: rounds add, loads take the max. *)
+(** Sequential composition: rounds and fault event counters add,
+    loads take the max; [crashed] takes the max too (a node crashed in
+    one phase stays crashed in the next). *)
 
 val pp_trace : Format.formatter -> trace -> unit
+(** One-line rendering; fault counters are appended only when any of
+    them is non-zero, so fault-free output is unchanged. *)
 
-exception Round_limit_exceeded of string
+val trace_to_json : trace -> string
+(** Compact single-object JSON encoding of every trace field (plain
+    string builder, no external dependency). *)
+
+type limit_info = {
+  protocol : string;  (** [protocol.name] of the runaway protocol. *)
+  round_reached : int;  (** First scheduled round beyond the limit. *)
+  partial : trace;  (** Accounting up to the moment of the abort. *)
+}
+
+exception Round_limit_exceeded of limit_info
 
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
+  ?faults:Fault.t ->
   Graphlib.Wgraph.t ->
   ('s, 'm) protocol ->
   's array * trace
-(** Execute until quiescence (no pending messages or wake-ups).
-    [bandwidth] defaults to 1 word/edge/round; [max_rounds] (default
-    [1_000_000]) guards against non-terminating protocols by raising
-    {!Round_limit_exceeded}. Nodes are processed in increasing id
-    order within a round; messages to non-neighbors raise
-    [Invalid_argument]. *)
+(** Execute until quiescence (no pending messages, deliveries or
+    wake-ups). [bandwidth] defaults to 1 word/edge/round; [max_rounds]
+    (default [1_000_000]) guards against non-terminating protocols by
+    raising {!Round_limit_exceeded} with a structured payload.
+    Nodes are processed in increasing id order within a round;
+    messages to non-neighbors raise [Invalid_argument].
+
+    [?faults] injects the configured adversary (see {!Fault}): the
+    drop/duplicate/delay decisions are drawn per message from the
+    adversary's private seeded RNG stream, in send order, so runs are
+    reproducible. [on_message] fires for every message accepted onto
+    the wire (i.e. after a strict-bandwidth drop but before a random
+    drop); network-injected duplicate copies do not re-fire it and do
+    not add to edge load. *)

@@ -1,0 +1,46 @@
+type t = {
+  seed : int;
+  drop : float;
+  delay : int;
+  duplicate : float;
+  crashes : (int * int) list;
+  strict_bandwidth : bool;
+}
+
+let none =
+  { seed = 0; drop = 0.0; delay = 0; duplicate = 0.0; crashes = []; strict_bandwidth = false }
+
+let make ?(seed = 0) ?(drop = 0.0) ?(delay = 0) ?(duplicate = 0.0) ?(crashes = [])
+    ?(strict_bandwidth = false) () =
+  let check_p name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault.make: %s probability %g outside [0,1]" name p)
+  in
+  check_p "drop" drop;
+  check_p "duplicate" duplicate;
+  if delay < 0 then invalid_arg "Fault.make: delay < 0";
+  List.iter
+    (fun (node, round) ->
+      if node < 0 then invalid_arg "Fault.make: crash node < 0";
+      if round < 1 then invalid_arg "Fault.make: crash round < 1 (nodes exist at round 0)")
+    crashes;
+  { seed; drop; delay; duplicate; crashes; strict_bandwidth }
+
+let is_benign t =
+  t.drop = 0.0 && t.delay = 0 && t.duplicate = 0.0 && t.crashes = [] && not t.strict_bandwidth
+
+let crash_rounds t ~n =
+  let a = Array.make n max_int in
+  List.iter
+    (fun (node, round) ->
+      if node >= n then invalid_arg (Printf.sprintf "Fault.crash_rounds: node %d >= n=%d" node n);
+      if round < a.(node) then a.(node) <- round)
+    t.crashes;
+  a
+
+let pp ppf t =
+  Format.fprintf ppf "seed=%d drop=%g delay=%d duplicate=%g crashes=[%s] strict=%b" t.seed t.drop
+    t.delay t.duplicate
+    (String.concat ";"
+       (List.map (fun (v, r) -> Printf.sprintf "%d@%d" v r) t.crashes))
+    t.strict_bandwidth

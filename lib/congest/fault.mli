@@ -1,0 +1,72 @@
+(** Deterministic fault injection for the CONGEST engine.
+
+    A value of type {!t} configures a *seeded adversary* that the
+    engine consults on every message and round: messages can be
+    dropped, delayed by a bounded jitter, or duplicated; nodes can
+    fail-stop at a scheduled round; and bandwidth can be enforced
+    ([Strict] mode) instead of merely accounted. All randomness comes
+    from a private {!Util.Rng.t} derived from [seed], so a run under a
+    given fault configuration is exactly reproducible.
+
+    The adversary is applied per *message send*:
+
+    + in strict-bandwidth mode, a message that would push the
+      edge-round load beyond the bandwidth is dropped at the sender
+      (the whole message — words are never split);
+    + otherwise the message is dropped with probability [drop];
+    + a surviving message is duplicated with probability [duplicate]
+      (one extra network-injected copy);
+    + each surviving copy independently suffers an extra delivery
+      delay uniform in [0, delay] rounds.
+
+    A node whose crash round [r] has been reached executes no handler
+    at any round [>= r] and loses every message that would be
+    delivered to it at round [>= r] (fail-stop). *)
+
+type t = {
+  seed : int;  (** Seed for the adversary's private RNG stream. *)
+  drop : float;  (** Per-message drop probability, in [[0,1]]. *)
+  delay : int;
+      (** Maximum extra delivery delay in rounds; each surviving copy
+          is delayed uniformly in [[0, delay]]. [0] = no jitter. *)
+  duplicate : float;
+      (** Probability that a surviving message gets one extra
+          network-injected copy, in [[0,1]]. *)
+  crashes : (int * int) list;
+      (** Fail-stop schedule as [(node, round)] pairs with
+          [round >= 1]; the node executes rounds [< round] normally
+          and is dead from [round] on. Duplicate entries for one node
+          keep the earliest round. *)
+  strict_bandwidth : bool;
+      (** Enforce the bandwidth: words exceeding the per-edge-round
+          budget are dropped (at message granularity) instead of only
+          being recorded as a congestion violation. *)
+}
+
+val none : t
+(** The benign adversary: nothing is dropped, delayed, duplicated or
+    crashed, bandwidth stays advisory. Running the engine with
+    [~faults:none] produces the same trace as running it without
+    [?faults] (fault counters all zero). *)
+
+val make :
+  ?seed:int ->
+  ?drop:float ->
+  ?delay:int ->
+  ?duplicate:float ->
+  ?crashes:(int * int) list ->
+  ?strict_bandwidth:bool ->
+  unit ->
+  t
+(** Validating constructor. Raises [Invalid_argument] if a
+    probability is outside [[0,1]], [delay < 0], or a crash round is
+    [< 1]. *)
+
+val is_benign : t -> bool
+(** [true] iff the configuration can never perturb an execution. *)
+
+val crash_rounds : t -> n:int -> int array
+(** Per-node crash round ([max_int] = never), for an [n]-node
+    network. Raises [Invalid_argument] on an out-of-range node id. *)
+
+val pp : Format.formatter -> t -> unit

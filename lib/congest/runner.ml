@@ -26,6 +26,20 @@ let total t =
 
 let rounds t = (total t).Engine.rounds
 
+let to_json t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"phases\":[";
+  List.iteri
+    (fun i (name, tr) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":%S,\"trace\":%s}" name (Engine.trace_to_json tr)))
+    (phases t);
+  Buffer.add_string b "],\"total\":";
+  Buffer.add_string b (Engine.trace_to_json (total t));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

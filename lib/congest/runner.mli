@@ -20,4 +20,12 @@ val total : t -> Engine.trace
 val phases : t -> (string * Engine.trace) list
 (** In execution order (same-name phases merged at first position). *)
 
+val to_json : t -> string
+(** [{"phases":[{"name":..., "trace":{...}}, ...], "total":{...}}] —
+    each phase trace carries the full accounting, including the fault
+    counters (dropped/delayed/duplicated/crashed), so per-phase fault
+    statistics survive into machine-readable artifacts. *)
+
 val pp : Format.formatter -> t -> unit
+(** Per-phase breakdown plus a TOTAL line; traces with fault activity
+    render their fault counters. *)

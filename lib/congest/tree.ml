@@ -6,65 +6,109 @@ type t = {
   depth : int;
 }
 
+(* Execute a protocol either directly (perfect network, the default)
+   or wrapped in the reliable-delivery combinator — mandatory as soon
+   as faults are injected, optional otherwise (to measure the ack /
+   retransmission overhead on a clean network). *)
+let run_protocol ?bandwidth ?faults ?reliable g proto =
+  match (faults, reliable) with
+  | None, None -> Engine.run ?bandwidth g proto
+  | _ ->
+    let config = Option.value reliable ~default:Reliable.default_config in
+    Reliable.run ?bandwidth ?faults ~config g proto
+
 (* ------------------------------------------------------------------ *)
 (* BFS tree construction by flooding.                                  *)
 (* ------------------------------------------------------------------ *)
 
-type build_msg = Level of int | Child
+(* The flooding is *self-stabilizing*: a node adopts the best (level,
+   sender) offer it has seen and re-adopts whenever a strictly better
+   level arrives, re-announcing its level and retracting the stale
+   child claim. On a perfect synchronous network offers arrive in BFS
+   wavefront order, so the first adoption is already optimal and the
+   execution is message-for-message the classical flooding; under a
+   lossy/reordering network (with the {!Reliable} wrapper ensuring
+   eventual exactly-once delivery) the monotone improvement rule still
+   converges to the exact BFS levels. Child/Retract claims carry a
+   per-sender adoption counter so that a reordered stale claim can
+   never overwrite a newer one. *)
+type build_msg = Level of int | Child of int | Retract of int
 
 type build_state = {
   b_parent : int;
   b_level : int;
   b_children : int list;
+  b_claims : (int * int) list; (* per-neighbor last applied claim counter *)
+  b_adoptions : int; (* my own claim counter *)
 }
 
 let build_protocol ~root : (build_state, build_msg) Engine.protocol =
+  let initial = { b_parent = -1; b_level = -1; b_children = []; b_claims = []; b_adoptions = 0 } in
   {
     name = "bfs-tree";
     size_words = (fun _ -> 1);
     init =
       (fun view ->
         if view.Node_view.id = root then
-          ( { b_parent = -1; b_level = 0; b_children = [] },
+          ( { initial with b_parent = -1; b_level = 0 },
             Engine.send
               (Array.to_list (Array.map (fun (v, _) -> (v, Level 0)) view.neighbors)) )
-        else ({ b_parent = -1; b_level = -1; b_children = [] }, Engine.no_action));
+        else (initial, Engine.no_action));
     on_round =
       (fun view ~round:_ s ~inbox ->
-        (* Collect child claims (can arrive any time after we joined). *)
+        (* Child claims / retractions (can arrive any time after we
+           joined); only a claim newer than the last applied one from
+           that neighbor takes effect. *)
         let s =
           List.fold_left
             (fun s { Engine.src; msg } ->
               match msg with
-              | Child -> { s with b_children = src :: s.b_children }
-              | Level _ -> s)
+              | Level _ -> s
+              | Child c | Retract c ->
+                let last = Option.value ~default:0 (List.assoc_opt src s.b_claims) in
+                if c <= last then s
+                else begin
+                  let others = List.filter (fun v -> v <> src) s.b_children in
+                  let b_children =
+                    match msg with Child _ -> src :: others | _ -> others
+                  in
+                  { s with b_children; b_claims = (src, c) :: List.remove_assoc src s.b_claims }
+                end)
             s inbox
         in
-        if s.b_level >= 0 || view.Node_view.id = root then (s, Engine.no_action)
+        if view.Node_view.id = root then (s, Engine.no_action)
         else begin
-          (* First Level message(s): adopt the smallest-id sender. *)
-          let levels =
+          let offers =
             List.filter_map
               (fun { Engine.src; msg } ->
-                match msg with Level l -> Some (src, l) | Child -> None)
+                match msg with Level l -> Some (src, l) | Child _ | Retract _ -> None)
               inbox
           in
-          match levels with
+          match offers with
           | [] -> (s, Engine.no_action)
-          | (src0, l0) :: _ ->
+          | (src0, l0) :: rest ->
             let parent, l =
               List.fold_left
                 (fun (bs, bl) (src, l) -> if l < bl || (l = bl && src < bs) then (src, l) else (bs, bl))
-                (src0, l0) levels
+                (src0, l0) rest
             in
-            let my_level = l + 1 in
-            let msgs =
-              (parent, Child)
-              :: List.filter_map
-                   (fun (v, _) -> if v = parent then None else Some (v, Level my_level))
-                   (Array.to_list view.neighbors)
-            in
-            ({ b_parent = parent; b_level = my_level; b_children = s.b_children }, Engine.send msgs)
+            if s.b_level >= 0 && l + 1 >= s.b_level then (s, Engine.no_action)
+            else begin
+              let my_level = l + 1 in
+              let c = s.b_adoptions + 1 in
+              let retract =
+                if s.b_parent >= 0 && s.b_parent <> parent then [ (s.b_parent, Retract c) ]
+                else []
+              in
+              let msgs =
+                ((parent, Child c) :: retract)
+                @ List.filter_map
+                    (fun (v, _) -> if v = parent then None else Some (v, Level my_level))
+                    (Array.to_list view.neighbors)
+              in
+              ( { s with b_parent = parent; b_level = my_level; b_adoptions = c },
+                Engine.send msgs )
+            end
         end);
   }
 
@@ -87,7 +131,9 @@ let convergecast_protocol tree ~values ~combine ~size_words : ('a cc_state, 'a) 
         let me = view.Node_view.id in
         let waiting = Array.length tree.children.(me) in
         let s = { cc_acc = values.(me); cc_waiting = waiting; cc_sent = false } in
-        if waiting = 0 && me <> tree.root then
+        (* parent < 0: orphan (e.g. crashed during construction) —
+           it has nowhere to report to. *)
+        if waiting = 0 && me <> tree.root && tree.parent.(me) >= 0 then
           ({ s with cc_sent = true }, Engine.send [ (tree.parent.(me), s.cc_acc) ])
         else (s, Engine.no_action));
     on_round =
@@ -99,13 +145,15 @@ let convergecast_protocol tree ~values ~combine ~size_words : ('a cc_state, 'a) 
               { s with cc_acc = combine s.cc_acc msg; cc_waiting = s.cc_waiting - 1 })
             s inbox
         in
-        if s.cc_waiting = 0 && (not s.cc_sent) && me <> tree.root then
+        if s.cc_waiting = 0 && (not s.cc_sent) && me <> tree.root && tree.parent.(me) >= 0 then
           ({ s with cc_sent = true }, Engine.send [ (tree.parent.(me), s.cc_acc) ])
         else (s, Engine.no_action));
   }
 
-let convergecast g tree ~values ~combine ~size_words =
-  let states, trace = Engine.run g (convergecast_protocol tree ~values ~combine ~size_words) in
+let convergecast ?bandwidth ?faults ?reliable g tree ~values ~combine ~size_words =
+  let states, trace =
+    run_protocol ?bandwidth ?faults ?reliable g (convergecast_protocol tree ~values ~combine ~size_words)
+  in
   (states.(tree.root).cc_acc, trace)
 
 (* ------------------------------------------------------------------ *)
@@ -149,8 +197,8 @@ let broadcast_protocol tree ~tokens ~size_words : ('tok bc_state, 'tok) Engine.p
         forward view s ~round);
   }
 
-let broadcast_tokens g tree ~tokens ~size_words =
-  let states, trace = Engine.run g (broadcast_protocol tree ~tokens ~size_words) in
+let broadcast_tokens ?bandwidth ?faults ?reliable g tree ~tokens ~size_words =
+  let states, trace = run_protocol ?bandwidth ?faults ?reliable g (broadcast_protocol tree ~tokens ~size_words) in
   (Array.map (fun s -> List.rev s.bc_received) states, trace)
 
 (* ------------------------------------------------------------------ *)
@@ -177,7 +225,7 @@ let upcast_protocol tree ~items ~compare ~size_words :
   let open Upcast in
   let push view s ~round =
     let me = view.Node_view.id in
-    if me = tree.root then (s, Engine.no_action)
+    if me = tree.root || tree.parent.(me) < 0 then (s, Engine.no_action)
     else
       match s.unsent with
       | [] -> (s, Engine.no_action)
@@ -211,17 +259,17 @@ let upcast_protocol tree ~items ~compare ~size_words :
         push view s ~round);
   }
 
-let upcast g tree ~items ~compare ~size_words =
-  let states, trace = Engine.run g (upcast_protocol tree ~items ~compare ~size_words) in
+let upcast ?bandwidth ?faults ?reliable g tree ~items ~compare ~size_words =
+  let states, trace = run_protocol ?bandwidth ?faults ?reliable g (upcast_protocol tree ~items ~compare ~size_words) in
   (states.(tree.root).Upcast.seen, trace)
 
 (* ------------------------------------------------------------------ *)
 (* Tree construction driver.                                           *)
 (* ------------------------------------------------------------------ *)
 
-let build g ~root =
+let build ?bandwidth ?faults ?reliable g ~root =
   if not (Graphlib.Wgraph.is_connected g) then invalid_arg "Tree.build: disconnected graph";
-  let states, trace1 = Engine.run g (build_protocol ~root) in
+  let states, trace1 = run_protocol ?bandwidth ?faults ?reliable g (build_protocol ~root) in
   let n = Graphlib.Wgraph.n g in
   let parent = Array.make n (-1) in
   let level = Array.make n 0 in
@@ -236,15 +284,16 @@ let build g ~root =
   (* Nodes learn the depth: convergecast of max level, then broadcast.
      Both are honest protocols whose rounds we add to the trace. *)
   let depth, trace2 =
-    convergecast g provisional ~values:(Array.copy level) ~combine:max ~size_words:(fun _ -> 1)
+    convergecast ?bandwidth ?faults ?reliable g provisional ~values:(Array.copy level) ~combine:max
+      ~size_words:(fun _ -> 1)
   in
   let _, trace3 =
-    broadcast_tokens g provisional ~tokens:[ depth ] ~size_words:(fun _ -> 1)
+    broadcast_tokens ?bandwidth ?faults ?reliable g provisional ~tokens:[ depth ] ~size_words:(fun _ -> 1)
   in
   let trace = Engine.add_traces trace1 (Engine.add_traces trace2 trace3) in
   ({ root; parent; children; level; depth }, trace)
 
-let gather_broadcast g tree ~items ~compare ~size_words =
-  let collected, t1 = upcast g tree ~items ~compare ~size_words in
-  let _, t2 = broadcast_tokens g tree ~tokens:collected ~size_words in
+let gather_broadcast ?bandwidth ?faults ?reliable g tree ~items ~compare ~size_words =
+  let collected, t1 = upcast ?bandwidth ?faults ?reliable g tree ~items ~compare ~size_words in
+  let _, t2 = broadcast_tokens ?bandwidth ?faults ?reliable g tree ~tokens:collected ~size_words in
   (collected, Engine.add_traces t1 t2)

@@ -20,12 +20,31 @@ type t = {
   depth : int;  (** Height of the tree = eccentricity of the root. *)
 }
 
-val build : Graphlib.Wgraph.t -> root:int -> t * Engine.trace
+val build :
+  ?bandwidth:int ->
+  ?faults:Fault.t ->
+  ?reliable:Reliable.config ->
+  Graphlib.Wgraph.t ->
+  root:int ->
+  t * Engine.trace
 (** BFS spanning tree by flooding, followed by an honest
     convergecast/broadcast so that every node learns [depth]
-    ([O(depth)] rounds total). Requires a connected graph. *)
+    ([O(depth)] rounds total). Requires a connected graph.
+
+    With [?faults] and/or [?reliable] set, every phase runs wrapped in
+    the {!Reliable} ack/retransmission combinator (default config when
+    only [?faults] is given), so the tree built under a seeded lossy
+    network matches the fault-free one — at a measured round/message
+    overhead recorded in the returned trace. [?bandwidth] is passed
+    straight to {!Engine.run} (note the wrapper's 1-word header: with
+    [Fault.strict_bandwidth] set, the bandwidth must exceed the
+    largest payload for data to flow at all). The same conventions
+    apply to every function below. *)
 
 val convergecast :
+  ?bandwidth:int ->
+  ?faults:Fault.t ->
+  ?reliable:Reliable.config ->
   Graphlib.Wgraph.t ->
   t ->
   values:'a array ->
@@ -37,6 +56,9 @@ val convergecast :
     when aggregates fit in one message. *)
 
 val broadcast_tokens :
+  ?bandwidth:int ->
+  ?faults:Fault.t ->
+  ?reliable:Reliable.config ->
   Graphlib.Wgraph.t ->
   t ->
   tokens:'tok list ->
@@ -46,6 +68,9 @@ val broadcast_tokens :
     [O(depth + k)] rounds. Result preserves the root's token order. *)
 
 val upcast :
+  ?bandwidth:int ->
+  ?faults:Fault.t ->
+  ?reliable:Reliable.config ->
   Graphlib.Wgraph.t ->
   t ->
   items:'tok list array ->
@@ -57,6 +82,9 @@ val upcast :
     deduplicated list. [O(depth + k)] rounds for [k] distinct items. *)
 
 val gather_broadcast :
+  ?bandwidth:int ->
+  ?faults:Fault.t ->
+  ?reliable:Reliable.config ->
   Graphlib.Wgraph.t ->
   t ->
   items:'tok list array ->

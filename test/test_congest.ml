@@ -6,6 +6,11 @@ open Congest
 let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
 let unit_path n =
   let rng = Util.Rng.create ~seed:0 in
   Graphlib.Gen.path ~n ~weighting:Graphlib.Gen.Unit ~rng
@@ -127,26 +132,45 @@ let test_engine_round_limit () =
             (s, Engine.send [ (src, 0) ]));
     }
   in
-  checkb "limit enforced" true
-    (try
-       ignore (Engine.run ~max_rounds:50 g proto);
-       false
-     with Engine.Round_limit_exceeded _ -> true)
+  (* The structured payload makes watchdog failures diagnosable. *)
+  (match Engine.run ~max_rounds:50 g proto with
+  | _ -> Alcotest.fail "limit not enforced"
+  | exception Engine.Round_limit_exceeded info ->
+    Alcotest.(check string) "protocol name" "pingpong" info.Engine.protocol;
+    check "round reached" 51 info.Engine.round_reached;
+    checkb "partial trace has traffic" true (info.Engine.partial.Engine.messages >= 50);
+    check "partial rounds at abort" 51 info.Engine.partial.Engine.rounds)
 
 let test_trace_arithmetic () =
   let a =
     { Engine.rounds = 3; messages = 5; words = 6; max_edge_load = 2; congestion_violations = 1;
-      activations = 7 }
+      activations = 7; dropped = 2; delayed = 1; duplicated = 1; crashed = 1 }
   in
   let b =
-    { Engine.rounds = 4; messages = 1; words = 1; max_edge_load = 3; congestion_violations = 0;
-      activations = 2 }
+    { Engine.empty_trace with
+      Engine.rounds = 4; messages = 1; words = 1; max_edge_load = 3; congestion_violations = 0;
+      activations = 2; dropped = 1; crashed = 2 }
   in
   let c = Engine.add_traces a b in
   check "rounds add" 7 c.Engine.rounds;
   check "messages add" 6 c.Engine.messages;
   check "load max" 3 c.Engine.max_edge_load;
-  check "violations add" 1 c.Engine.congestion_violations
+  check "violations add" 1 c.Engine.congestion_violations;
+  check "dropped add" 3 c.Engine.dropped;
+  check "delayed add" 1 c.Engine.delayed;
+  check "duplicated add" 1 c.Engine.duplicated;
+  (* A node crashed in one phase stays crashed in the next: max. *)
+  check "crashed max" 2 c.Engine.crashed
+
+let test_trace_to_json () =
+  let t =
+    { Engine.empty_trace with
+      Engine.rounds = 3; messages = 5; words = 6; max_edge_load = 2; dropped = 4; crashed = 1 }
+  in
+  Alcotest.(check string) "json"
+    "{\"rounds\":3,\"messages\":5,\"words\":6,\"max_edge_load\":2,\"congestion_violations\":0,\
+     \"activations\":0,\"dropped\":4,\"delayed\":0,\"duplicated\":0,\"crashed\":1}"
+    (Engine.trace_to_json t)
 
 let test_engine_on_message_hook () =
   let g = unit_path 4 in
@@ -164,6 +188,294 @@ let test_engine_deterministic () =
   let s1, t1 = run () and s2, t2 = run () in
   checkb "traces equal" true (t1 = t2);
   checkb "states equal" true (s1 = s2)
+
+(* A one-shot burst: node 0 sends [sends] in round 0, everyone else is
+   inert. Used to pin the congestion-violation semantics. *)
+let burst_protocol sends : (unit, int) Engine.protocol =
+  {
+    name = "burst";
+    size_words = (fun m -> m);
+    init =
+      (fun view -> if view.Node_view.id = 0 then ((), Engine.send sends) else ((), Engine.no_action));
+    on_round = (fun _ ~round:_ s ~inbox:_ -> (s, Engine.no_action));
+  }
+
+let test_congestion_once_per_edge_round () =
+  (* Regression: one overloaded edge-round is ONE violation, however
+     the overload accumulates. *)
+  let g = unit_path 3 in
+  (* Three small messages on edge 0->1 at bandwidth 1. *)
+  let _, t = Engine.run g (burst_protocol [ (1, 1); (1, 1); (1, 1) ]) in
+  check "many small msgs: one violation" 1 t.Engine.congestion_violations;
+  check "load 3" 3 t.Engine.max_edge_load;
+  (* One big message: also one violation. *)
+  let _, t = Engine.run g (burst_protocol [ (1, 3) ]) in
+  check "one big msg: one violation" 1 t.Engine.congestion_violations;
+  (* Two distinct overloaded edges in one round: two violations. *)
+  let g4 = unit_path 2 in
+  ignore g4;
+  let star : (unit, int) Engine.protocol =
+    {
+      name = "star-burst";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 1 then ((), Engine.send [ (0, 1); (0, 1); (2, 1); (2, 1) ])
+          else ((), Engine.no_action));
+      on_round = (fun _ ~round:_ s ~inbox:_ -> (s, Engine.no_action));
+    }
+  in
+  let _, t = Engine.run g star in
+  check "two edges: two violations" 2 t.Engine.congestion_violations;
+  (* Same edge overloaded in two different rounds: two violations. *)
+  let repeat : (unit, int) Engine.protocol =
+    {
+      name = "repeat-burst";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then
+            ((), Engine.act ~sends:[ (1, 1); (1, 1) ] ~wakes:[ 3 ] ())
+          else ((), Engine.no_action));
+      on_round =
+        (fun view ~round s ~inbox:_ ->
+          if view.Node_view.id = 0 && round = 3 then (s, Engine.send [ (1, 1); (1, 1) ])
+          else (s, Engine.no_action));
+    }
+  in
+  let _, t = Engine.run g repeat in
+  check "two rounds: two violations" 2 t.Engine.congestion_violations
+
+let test_wake_dedup () =
+  (* A node scheduled for round 5 from two different earlier rounds
+     (and twice within one action) must activate exactly once. *)
+  let g = unit_path 2 in
+  let fired = ref 0 in
+  let proto : (unit, int) Engine.protocol =
+    {
+      name = "dedup-wakes";
+      size_words = (fun _ -> 1);
+      init =
+        (fun view ->
+          if view.Node_view.id = 0 then ((), Engine.act ~wakes:[ 2; 5; 5 ] ())
+          else ((), Engine.no_action));
+      on_round =
+        (fun view ~round s ~inbox:_ ->
+          if view.Node_view.id = 0 then begin
+            if round = 5 then incr fired;
+            if round = 2 then (s, Engine.wake 5) else (s, Engine.no_action)
+          end
+          else (s, Engine.no_action));
+    }
+  in
+  let _, trace = Engine.run g proto in
+  check "round-5 handler ran once" 1 !fired;
+  (* init (2 nodes) + wake at round 2 + wake at round 5 *)
+  check "activations not double-counted" 4 trace.Engine.activations
+
+(* ------------------------------ Faults ----------------------------- *)
+
+let test_faults_none_is_identity () =
+  (* The benign adversary produces the exact fault-free trace/states. *)
+  let g = unit_path 9 in
+  let s0, t0 = Engine.run g relay_protocol in
+  let s1, t1 = Engine.run ~faults:Fault.none g relay_protocol in
+  checkb "states equal" true (s0 = s1);
+  checkb "traces equal" true (t0 = t1);
+  check "no drops" 0 t1.Engine.dropped
+
+(* Pinned fault-free BFS traces: these exact values were produced by
+   the engine before the fault layer existed; any drift on the default
+   path is a regression. *)
+let test_pinned_fault_free_traces () =
+  let expect name g ~rounds ~messages ~max_edge_load ~activations =
+    let _, tr = Tree.build g ~root:0 in
+    let pinned =
+      { Engine.empty_trace with
+        Engine.rounds; messages; words = messages; max_edge_load; activations }
+    in
+    Alcotest.(check bool) (name ^ " pinned trace") true (tr = pinned)
+  in
+  expect "path8"
+    (Graphlib.Gen.path ~n:8 ~weighting:Graphlib.Gen.Unit ~rng:(Util.Rng.create ~seed:0))
+    ~rounds:22 ~messages:28 ~max_edge_load:1 ~activations:52;
+  expect "gnp20"
+    (Graphlib.Gen.gnp_connected ~n:20 ~p:0.2
+       ~weighting:(Graphlib.Gen.Uniform { max_w = 5 })
+       ~rng:(Util.Rng.create ~seed:7))
+    ~rounds:13 ~messages:138 ~max_edge_load:1 ~activations:142;
+  expect "cliques"
+    (Graphlib.Gen.cliques_cycle ~cliques:4 ~clique_size:5 ~weighting:Graphlib.Gen.Unit
+       ~rng:(Util.Rng.create ~seed:3))
+    ~rounds:13 ~messages:126 ~max_edge_load:1 ~activations:131
+
+let test_fault_drop_all () =
+  let g = unit_path 6 in
+  let faults = Fault.make ~seed:1 ~drop:1.0 () in
+  let states, trace = Engine.run ~faults g relay_protocol in
+  (* Node 0's single message is lost; nothing propagates. *)
+  check "one message attempted" 1 trace.Engine.messages;
+  check "one message dropped" 1 trace.Engine.dropped;
+  Alcotest.(check (option int)) "receiver got nothing" None states.(1).got;
+  check "rounds still charge the send" 1 trace.Engine.rounds
+
+let test_fault_delay () =
+  let g = unit_path 6 in
+  let faults = Fault.make ~seed:3 ~delay:4 () in
+  let states, trace = Engine.run ~faults g relay_protocol in
+  let _, base = Engine.run g relay_protocol in
+  (* Delays never lose or corrupt messages: the relay still completes. *)
+  Alcotest.(check (option int)) "relay completes" (Some 5) states.(5).got;
+  check "nothing dropped" 0 trace.Engine.dropped;
+  checkb "some messages delayed" true (trace.Engine.delayed > 0);
+  checkb "rounds stretched" true (trace.Engine.rounds >= base.Engine.rounds)
+
+let test_fault_duplicate () =
+  let g = unit_path 6 in
+  let faults = Fault.make ~seed:5 ~duplicate:1.0 () in
+  let states, trace = Engine.run ~faults g relay_protocol in
+  (* The relay reacts to the first copy only; results are unchanged. *)
+  Alcotest.(check (option int)) "relay completes" (Some 5) states.(5).got;
+  check "every message duplicated" trace.Engine.messages trace.Engine.duplicated;
+  check "protocol sends unchanged" 5 trace.Engine.messages
+
+let test_fault_crash () =
+  let g = unit_path 6 in
+  let faults = Fault.make ~seed:1 ~crashes:[ (3, 2) ] () in
+  let states, trace = Engine.run ~faults g relay_protocol in
+  (* Node 3 fail-stops at round 2: the message sent to it in round 2
+     (arriving at round 3) is lost and the wave dies. *)
+  Alcotest.(check (option int)) "node 2 reached" (Some 2) states.(2).got;
+  Alcotest.(check (option int)) "node 3 dead" None states.(3).got;
+  Alcotest.(check (option int)) "node 5 never reached" None states.(5).got;
+  check "crash recorded" 1 trace.Engine.crashed;
+  check "message to crashed node lost" 1 trace.Engine.dropped
+
+let test_fault_strict_bandwidth () =
+  let g = unit_path 3 in
+  let faults = Fault.make ~strict_bandwidth:true () in
+  (* Two unit messages on one edge at bandwidth 1: the second is
+     dropped at the sender's NIC instead of overloading the edge. *)
+  let states, trace = Engine.run ~faults g (burst_protocol [ (1, 1); (1, 1) ]) in
+  ignore states;
+  check "violation recorded once" 1 trace.Engine.congestion_violations;
+  check "excess dropped" 1 trace.Engine.dropped;
+  check "load capped at bandwidth" 1 trace.Engine.max_edge_load;
+  (* At bandwidth 2 both fit: nothing dropped. *)
+  let _, t2 = Engine.run ~bandwidth:2 ~faults g (burst_protocol [ (1, 1); (1, 1) ]) in
+  check "fits at bandwidth 2" 0 t2.Engine.dropped
+
+let test_fault_deterministic () =
+  let g = random_graph 11 in
+  let faults = Fault.make ~seed:9 ~drop:0.2 ~delay:3 ~duplicate:0.1 () in
+  let run () = Tree.build ~faults g ~root:0 in
+  let s1, t1 = run () and s2, t2 = run () in
+  checkb "same seed, same trace" true (t1 = t2);
+  checkb "same seed, same states" true (s1 = s2);
+  let s3, t3 =
+    Tree.build ~faults:(Fault.make ~seed:10 ~drop:0.2 ~delay:3 ~duplicate:0.1 ()) g ~root:0
+  in
+  ignore s3;
+  checkb "different seed, different schedule" true (t3 <> t1)
+
+let test_fault_validation () =
+  checkb "drop > 1 rejected" true
+    (try ignore (Fault.make ~drop:1.5 ()); false with Invalid_argument _ -> true);
+  checkb "negative delay rejected" true
+    (try ignore (Fault.make ~delay:(-1) ()); false with Invalid_argument _ -> true);
+  checkb "crash at round 0 rejected" true
+    (try ignore (Fault.make ~crashes:[ (0, 0) ] ()); false with Invalid_argument _ -> true);
+  checkb "benign detection" true (Fault.is_benign Fault.none);
+  checkb "non-benign detection" false (Fault.is_benign (Fault.make ~drop:0.1 ()))
+
+(* ----------------------------- Reliable ---------------------------- *)
+
+let test_reliable_identity_on_perfect_network () =
+  (* Wrapping costs acks but must not change the computed result. *)
+  let g = unit_path 6 in
+  let states, trace = Reliable.run g relay_protocol in
+  Alcotest.(check (option int)) "relay result intact" (Some 5) states.(5).got;
+  let _, base = Engine.run g relay_protocol in
+  (* 5 data + 5 acks. *)
+  check "ack overhead" (2 * base.Engine.messages) trace.Engine.messages;
+  checkb "data words carry a header" true (trace.Engine.words > base.Engine.words)
+
+let reliable_bfs_family name g =
+  let base, base_trace = Tree.build g ~root:0 in
+  let faults = Fault.make ~seed:42 ~drop:0.1 () in
+  let t, tr = Tree.build ~faults g ~root:0 in
+  Alcotest.(check bool) (name ^ ": levels match fault-free") true
+    (t.Tree.level = base.Tree.level);
+  Alcotest.(check bool) (name ^ ": depth matches") true (t.Tree.depth = base.Tree.depth);
+  checkb (name ^ ": drops happened") true (tr.Engine.dropped > 0);
+  checkb (name ^ ": overhead measured") true
+    (tr.Engine.messages > base_trace.Engine.messages);
+  (* Determinism for a fixed adversary seed. *)
+  let t2, tr2 = Tree.build ~faults g ~root:0 in
+  Alcotest.(check bool) (name ^ ": deterministic") true (t2 = t && tr2 = tr)
+
+let test_reliable_bfs_under_drop () =
+  reliable_bfs_family "path"
+    (Graphlib.Gen.path ~n:10 ~weighting:Graphlib.Gen.Unit ~rng:(Util.Rng.create ~seed:0));
+  reliable_bfs_family "gnp"
+    (Graphlib.Gen.gnp_connected ~n:20 ~p:0.2
+       ~weighting:(Graphlib.Gen.Uniform { max_w = 5 })
+       ~rng:(Util.Rng.create ~seed:7));
+  reliable_bfs_family "ring-of-cliques"
+    (Graphlib.Gen.cliques_cycle ~cliques:4 ~clique_size:5 ~weighting:Graphlib.Gen.Unit
+       ~rng:(Util.Rng.create ~seed:3));
+  reliable_bfs_family "grid"
+    (Graphlib.Gen.grid ~rows:4 ~cols:5 ~weighting:Graphlib.Gen.Unit
+       ~rng:(Util.Rng.create ~seed:1))
+
+let test_reliable_convergecast_under_chaos () =
+  (* Drops + duplicates + jitter together: aggregation still exact. *)
+  let g = random_graph 8 in
+  let n = Graphlib.Wgraph.n g in
+  let tree, _ = Tree.build g ~root:0 in
+  let values = Array.init n (fun i -> i + 1) in
+  let faults = Fault.make ~seed:13 ~drop:0.15 ~delay:2 ~duplicate:0.2 () in
+  let total, trace =
+    Tree.convergecast ~faults g tree ~values ~combine:( + ) ~size_words:(fun _ -> 1)
+  in
+  check "sum exact under chaos" (n * (n + 1) / 2) total;
+  checkb "faults were active" true
+    (trace.Engine.dropped > 0 || trace.Engine.delayed > 0 || trace.Engine.duplicated > 0)
+
+let test_reliable_broadcast_under_drop () =
+  let g = unit_path 8 in
+  let tree, _ = Tree.build g ~root:0 in
+  let tokens = [ 3; 1; 4; 1; 5 ] in
+  let faults = Fault.make ~seed:21 ~drop:0.1 () in
+  let per_node, _ = Tree.broadcast_tokens ~faults g tree ~tokens ~size_words:(fun _ -> 1) in
+  (* Loss without reordering: every node still gets all tokens in
+     order (retransmissions are sequence-numbered and deduplicated). *)
+  Array.iter (fun l -> Alcotest.(check (list int)) "tokens delivered" tokens l) per_node
+
+let test_reliable_gather_broadcast_under_drop () =
+  let g = random_graph 4 in
+  let n = Graphlib.Wgraph.n g in
+  let tree, _ = Tree.build g ~root:0 in
+  let items = Array.init n (fun i -> [ i mod 5; 99 ]) in
+  let faults = Fault.make ~seed:31 ~drop:0.12 () in
+  let collected, _ = Tree.gather_broadcast ~faults g tree ~items ~compare ~size_words:(fun _ -> 1) in
+  let expected = List.sort_uniq compare (Array.to_list items |> List.concat) in
+  Alcotest.(check (list int)) "gather exact under drop" expected collected
+
+let test_reliable_gives_up_on_crashed_peer () =
+  (* A crashed destination must not hang the network: retransmissions
+     back off and eventually abandon the message. *)
+  let g = unit_path 2 in
+  let faults = Fault.make ~seed:2 ~crashes:[ (1, 1) ] () in
+  let config = { Reliable.default_config with Reliable.max_retries = 3 } in
+  let states, trace =
+    Engine.run ~faults g (Reliable.wrap ~config relay_protocol)
+  in
+  check "crash recorded" 1 trace.Engine.crashed;
+  check "sender abandoned the transfer" 1 (Reliable.given_up states.(0));
+  (* 1 original + 3 retransmissions, all lost to the crash. *)
+  check "retransmissions measured" 4 trace.Engine.messages;
+  check "all lost" 4 trace.Engine.dropped
 
 (* ------------------------------- Tree ------------------------------ *)
 
@@ -285,6 +597,40 @@ let test_runner () =
   check "run_phase value" 42 v;
   check "after run_phase" 22 (Runner.rounds r)
 
+let test_runner_phase_merging () =
+  (* Repeated phase names accumulate via add_traces at their first
+     position; distinct phases keep execution order. *)
+  let r = Runner.create () in
+  let tr rounds dropped = { Engine.empty_trace with Engine.rounds; dropped } in
+  Runner.record r "setup" (tr 2 1);
+  Runner.record r "search" (tr 5 0);
+  Runner.record r "setup" (tr 3 2);
+  Runner.record r "verify" (tr 1 0);
+  let phases = Runner.phases r in
+  Alcotest.(check (list string)) "order preserved" [ "setup"; "search"; "verify" ]
+    (List.map fst phases);
+  let setup = List.assoc "setup" phases in
+  check "same-name rounds accumulate" 5 setup.Engine.rounds;
+  (* Per-phase fault statistics survive the merge. *)
+  check "same-name drops accumulate" 3 setup.Engine.dropped;
+  check "total drops" 3 (Runner.total r).Engine.dropped
+
+let test_runner_pp_and_json () =
+  let r = Runner.create () in
+  Runner.record r "phase-a" { Engine.empty_trace with Engine.rounds = 5; dropped = 2 };
+  Runner.record r "phase-b" { Engine.empty_trace with Engine.rounds = 7 } ;
+  let rendered = Format.asprintf "%a" Runner.pp r in
+  checkb "pp lists phases" true
+    (let has s = contains rendered s in
+     has "phase-a" && has "phase-b");
+  checkb "pp has a TOTAL line" true (contains rendered "TOTAL");
+  checkb "pp shows fault counters when active" true
+    (contains rendered "dropped=2");
+  let json = Runner.to_json r in
+  checkb "json has phases" true (contains json "\"phases\":[");
+  checkb "json has total" true (contains json "\"total\":{");
+  checkb "json carries fault stats" true (contains json "\"dropped\":2")
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_tree_is_bfs; prop_children_match_parents; prop_gather_broadcast_complete ]
@@ -300,8 +646,38 @@ let () =
           Alcotest.test_case "bandwidth accounting" `Quick test_engine_bandwidth_violation;
           Alcotest.test_case "round limit" `Quick test_engine_round_limit;
           Alcotest.test_case "trace arithmetic" `Quick test_trace_arithmetic;
+          Alcotest.test_case "trace to json" `Quick test_trace_to_json;
           Alcotest.test_case "on_message hook" `Quick test_engine_on_message_hook;
           Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "congestion counted once per edge-round" `Quick
+            test_congestion_once_per_edge_round;
+          Alcotest.test_case "wake dedup" `Quick test_wake_dedup;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "benign adversary is identity" `Quick test_faults_none_is_identity;
+          Alcotest.test_case "pinned fault-free traces" `Quick test_pinned_fault_free_traces;
+          Alcotest.test_case "drop all" `Quick test_fault_drop_all;
+          Alcotest.test_case "delay jitter" `Quick test_fault_delay;
+          Alcotest.test_case "duplication" `Quick test_fault_duplicate;
+          Alcotest.test_case "fail-stop crash" `Quick test_fault_crash;
+          Alcotest.test_case "strict bandwidth" `Quick test_fault_strict_bandwidth;
+          Alcotest.test_case "seeded determinism" `Quick test_fault_deterministic;
+          Alcotest.test_case "config validation" `Quick test_fault_validation;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "identity on perfect network" `Quick
+            test_reliable_identity_on_perfect_network;
+          Alcotest.test_case "BFS under 10% drop (4 families)" `Quick
+            test_reliable_bfs_under_drop;
+          Alcotest.test_case "convergecast under chaos" `Quick
+            test_reliable_convergecast_under_chaos;
+          Alcotest.test_case "broadcast under drop" `Quick test_reliable_broadcast_under_drop;
+          Alcotest.test_case "gather_broadcast under drop" `Quick
+            test_reliable_gather_broadcast_under_drop;
+          Alcotest.test_case "gives up on crashed peer" `Quick
+            test_reliable_gives_up_on_crashed_peer;
         ] );
       ( "tree",
         [
@@ -311,6 +687,11 @@ let () =
           Alcotest.test_case "broadcast pipelining" `Quick test_broadcast_pipelining;
           Alcotest.test_case "upcast" `Quick test_upcast;
         ] );
-      ("runner", [ Alcotest.test_case "accounting" `Quick test_runner ]);
+      ( "runner",
+        [
+          Alcotest.test_case "accounting" `Quick test_runner;
+          Alcotest.test_case "phase merging" `Quick test_runner_phase_merging;
+          Alcotest.test_case "pp and json" `Quick test_runner_pp_and_json;
+        ] );
       ("properties", qsuite);
     ]
