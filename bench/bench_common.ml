@@ -44,10 +44,9 @@ let fmt_large x =
 (* Machine-readable trace artifacts.                                   *)
 (* ------------------------------------------------------------------ *)
 
-let artifact_dir () =
-  let dir = "bench_artifacts" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  dir
+(* Resolution order: ARTIFACTS_DIR env override, then the historical
+   "bench_artifacts" default; created (with parents) if missing. *)
+let artifact_dir () = Telemetry.Export.artifacts_dir ()
 
 (* Dump a trace (with its fault counters) as [<name>.trace.json] under
    bench_artifacts/, so downstream tooling can parse runs without

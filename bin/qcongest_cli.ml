@@ -269,6 +269,135 @@ let faults_cmd =
           with the reliable-delivery wrapper, and compare against the fault-free run.")
     term
 
+let run_trace input family n max_w cliques seed drop dup delay fault_seed artifacts events_path
+    chrome_path heatmap_path timeline_path =
+  let g = make_graph ?input family n max_w cliques seed in
+  describe g;
+  let dir = Telemetry.Export.artifacts_dir ?override:artifacts () in
+  let sink, drain = Telemetry.Events.collector () in
+  let runner = Congest.Runner.create ~sink () in
+  let faults =
+    if drop > 0.0 || dup > 0.0 || delay > 0 then
+      Some (Congest.Fault.make ~seed:fault_seed ~drop ~duplicate:dup ~delay ())
+    else None
+  in
+  (match faults with
+  | Some f -> Format.printf "adversary: %a@." Congest.Fault.pp f
+  | None -> ());
+  (* A representative multi-phase scenario: BFS tree, an aggregation
+     up it, a pipelined broadcast down it — each phase a span. *)
+  let tree =
+    Congest.Runner.time_phase runner "bfs-tree" (fun () ->
+        Congest.Tree.build ?faults ~sink g ~root:0)
+  in
+  let nn = Graphlib.Wgraph.n g in
+  let degrees = Array.init nn (fun v -> Array.length (Graphlib.Wgraph.neighbors g v)) in
+  let total_degree =
+    Congest.Runner.time_phase runner "degree-convergecast" (fun () ->
+        Congest.Tree.convergecast ?faults ~sink g tree ~values:degrees ~combine:( + )
+          ~size_words:(fun _ -> 1))
+  in
+  let _per_node =
+    Congest.Runner.time_phase runner "token-broadcast" (fun () ->
+        Congest.Tree.broadcast_tokens ?faults ~sink g tree ~tokens:[ tree.Congest.Tree.depth ]
+          ~size_words:(fun _ -> 1))
+  in
+  Printf.printf "tree depth = %d, sum of degrees = %d (= 2m = %d)\n" tree.Congest.Tree.depth
+    total_degree (2 * Graphlib.Wgraph.m g);
+  Format.printf "%a@." Congest.Runner.pp runner;
+  let events = drain () in
+  (* Internal consistency: the stream must replay to the recorded
+     trace — the same invariant the property tests pin. *)
+  let replayed = Congest.Replay.trace_of_events events in
+  let total = Congest.Runner.total runner in
+  if replayed <> total then begin
+    Format.eprintf "qcongest trace: replay mismatch!@.  recorded: %a@.  replayed: %a@."
+      Congest.Engine.pp_trace total Congest.Engine.pp_trace replayed;
+    exit 1
+  end;
+  Printf.printf "replay check: %d events reconstruct the trace counters exactly\n"
+    (List.length events);
+  let metrics = Telemetry.Metrics.create () in
+  Congest.Runner.export_metrics runner metrics;
+  let out default override =
+    match override with Some p -> p | None -> Filename.concat dir default
+  in
+  let wrote path = Printf.printf "wrote %s\n" path in
+  let events_file = out "trace.events.jsonl" events_path in
+  Telemetry.Export.write_events_jsonl ~path:events_file events;
+  wrote events_file;
+  let chrome_file = out "trace.chrome.json" chrome_path in
+  Telemetry.Export.write_chrome_trace ~path:chrome_file events;
+  wrote chrome_file;
+  let heatmap_file = out "trace.heatmap.csv" heatmap_path in
+  Telemetry.Export.write_file ~path:heatmap_file (Telemetry.Export.heatmap_csv events);
+  wrote heatmap_file;
+  let timeline_file = out "trace.timeline.csv" timeline_path in
+  Telemetry.Export.write_file ~path:timeline_file (Telemetry.Export.timeline_csv events);
+  wrote timeline_file;
+  let metrics_file = Filename.concat dir "trace.metrics.json" in
+  Telemetry.Export.write_file ~path:metrics_file
+    (Telemetry.Metrics.to_json (Telemetry.Metrics.snapshot metrics));
+  wrote metrics_file;
+  let phases_file = Filename.concat dir "trace.phases.json" in
+  Telemetry.Export.write_file ~path:phases_file (Congest.Runner.to_json runner);
+  wrote phases_file
+
+let trace_cmd =
+  let drop_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability in [0,1].")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability in [0,1].")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"R" ~doc:"Maximum extra delivery delay in rounds.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 7
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the fault adversary's RNG.")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "Output directory for trace artifacts (created if missing). Defaults to the \
+             $(b,ARTIFACTS_DIR) environment variable, then $(b,bench_artifacts).")
+  in
+  let path_arg names docv doc = Arg.(value & opt (some string) None & info names ~docv ~doc) in
+  let events_arg = path_arg [ "events" ] "FILE" "Structured event log (JSONL), one event per line." in
+  let chrome_arg =
+    path_arg [ "chrome" ] "FILE"
+      "Chrome trace-event JSON, loadable in chrome://tracing or Perfetto (ui.perfetto.dev)."
+  in
+  let heatmap_arg = path_arg [ "heatmap" ] "FILE" "Per-directed-edge load CSV (src,dst,messages,words)." in
+  let timeline_arg =
+    path_arg [ "timeline" ] "FILE" "Per-round timeline CSV (round,active,messages,words,...)."
+  in
+  let term =
+    Term.(
+      const run_trace $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg
+      $ drop_arg $ dup_arg $ delay_arg $ fault_seed_arg $ artifacts_arg $ events_arg $ chrome_arg
+      $ heatmap_arg $ timeline_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a multi-phase CONGEST scenario (BFS tree + convergecast + broadcast, optionally \
+          under a fault adversary) with the telemetry sink attached, verify the event stream \
+          replays to the measured trace, and export JSONL events, a Chrome/Perfetto trace, \
+          per-round timeline and per-edge heatmap CSVs, phase spans and a metrics snapshot.")
+    term
+
 let run_params n d =
   let p = Core.Params.of_graph_params ~n ~d_hat:d () in
   Format.printf "Eq. (1): %a@." Core.Params.pp p;
@@ -299,4 +428,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; faults_cmd;
-            params_cmd ]))
+            trace_cmd; params_cmd ]))

@@ -83,9 +83,19 @@ exception Round_limit_exceeded of limit_info
 
 type 'm mailbox = { mutable inbox : 'm envelope list (* reversed during accumulation *) }
 
-let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
+let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g proto =
   let n = Graphlib.Wgraph.n g in
   if n = 0 then invalid_arg "Engine.run: empty graph";
+  (* The historical [?on_message] hook is an adapter over the event
+     stream: both funnel through one sink, so they observe the exact
+     same message occurrences by construction. *)
+  let sink =
+    match (Option.map Telemetry.Events.of_on_message on_message, sink) with
+    | None, s | s, None -> s
+    | Some a, Some b -> Some (Telemetry.Events.tee a b)
+  in
+  let observed = sink <> None in
+  let emit ev = match sink with Some s -> s ev | None -> () in
   let max_w = Graphlib.Wgraph.max_weight g in
   let views =
     Array.init n (fun id ->
@@ -156,26 +166,40 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
       Hashtbl.replace load key cur';
       if cur' > !max_edge_load then max_edge_load := cur';
       if cur' > bandwidth then record_violation key;
-      (match on_message with Some f -> f ~round ~src ~dst ~words:sz | None -> ());
+      if observed then emit (Telemetry.Events.Message { round; src; dst; words = sz });
       boxes.(dst).inbox <- { src; msg } :: boxes.(dst).inbox
     | Some (f, rng, _) ->
       if f.Fault.strict_bandwidth && cur + sz > bandwidth then begin
         (* NIC-enforced bandwidth: the whole message is dropped at the
            sender; the edge-round is recorded as violated exactly once. *)
         record_violation key;
-        incr dropped
+        incr dropped;
+        if observed then
+          emit
+            (Telemetry.Events.Fault
+               { round; node = src; peer = dst; kind = Telemetry.Events.Drop_bandwidth sz })
       end
       else begin
         let cur' = cur + sz in
         Hashtbl.replace load key cur';
         if cur' > !max_edge_load then max_edge_load := cur';
         if cur' > bandwidth then record_violation key;
-        (match on_message with Some h -> h ~round ~src ~dst ~words:sz | None -> ());
-        if f.Fault.drop > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.drop then incr dropped
+        if observed then emit (Telemetry.Events.Message { round; src; dst; words = sz });
+        if f.Fault.drop > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.drop then begin
+          incr dropped;
+          if observed then
+            emit
+              (Telemetry.Events.Fault
+                 { round; node = src; peer = dst; kind = Telemetry.Events.Drop_random })
+        end
         else begin
           let copies =
             if f.Fault.duplicate > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.duplicate then begin
               incr duplicated;
+              if observed then
+                emit
+                  (Telemetry.Events.Fault
+                     { round; node = src; peer = dst; kind = Telemetry.Events.Duplicate });
               2
             end
             else 1
@@ -184,7 +208,13 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
             let jitter =
               if f.Fault.delay > 0 then Util.Rng.int_in rng ~lo:0 ~hi:f.Fault.delay else 0
             in
-            if jitter > 0 then incr delayed;
+            if jitter > 0 then begin
+              incr delayed;
+              if observed then
+                emit
+                  (Telemetry.Events.Fault
+                     { round; node = src; peer = dst; kind = Telemetry.Events.Delay jitter })
+            end;
             enqueue_arrival ~arrival:(round + 1 + jitter) dst { src; msg }
           done
         end
@@ -201,10 +231,18 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
       let delivered = ref false in
       List.iter
         (fun (dst, env) ->
-          if crashed_at dst <= r then incr dropped
+          if crashed_at dst <= r then begin
+            incr dropped;
+            if observed then
+              emit
+                (Telemetry.Events.Fault
+                   { round = r; node = env.src; peer = dst; kind = Telemetry.Events.Drop_crashed })
+          end
           else begin
             delivered := true;
             if r > !last_arrival_round then last_arrival_round := r;
+            if observed then
+              emit (Telemetry.Events.Deliver { round = r; src = env.src; dst });
             boxes.(dst).inbox <- env :: boxes.(dst).inbox
           end)
         (List.rev !l);
@@ -232,6 +270,10 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
     }
   in
   (* Round 0: init everyone (in id order). *)
+  if observed then begin
+    emit (Telemetry.Events.Run_start { protocol = proto.name; n; bandwidth });
+    emit (Telemetry.Events.Round_start { round = 0; active = n })
+  end;
   Hashtbl.reset load;
   Hashtbl.reset violated;
   any_sends_this_round := false;
@@ -302,6 +344,8 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
           (fun id -> crashed_at id > r)
           (List.sort_uniq compare (from_inbox @ from_wake))
       in
+      if observed then
+        emit (Telemetry.Events.Round_start { round = r; active = List.length active });
       (* Snapshot and clear inboxes before running handlers so that
          messages sent in round r arrive in round r+1. *)
       let snapshots =
@@ -325,4 +369,21 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults g proto =
           schedule_wake ~now:r id act.wakes)
         snapshots
   done;
-  (states, current_trace ())
+  let trace = current_trace () in
+  if observed then begin
+    (* Crash events are only known to have fallen inside the horizon
+       once the horizon is: emit them at the end, sorted by round. *)
+    (match adversary with
+    | Some (_, _, cr) ->
+      let crashes = ref [] in
+      Array.iteri (fun id r -> if r <= !round then crashes := (r, id) :: !crashes) cr;
+      List.iter
+        (fun (r, id) ->
+          emit
+            (Telemetry.Events.Fault
+               { round = r; node = id; peer = -1; kind = Telemetry.Events.Crash }))
+        (List.sort compare !crashes)
+    | None -> ());
+    emit (Telemetry.Events.Run_end { round = trace.rounds })
+  end;
+  (states, trace)

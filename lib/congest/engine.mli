@@ -101,6 +101,7 @@ val run :
   ?max_rounds:int ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
   ?faults:Fault.t ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   ('s, 'm) protocol ->
   's array * trace
@@ -117,4 +118,16 @@ val run :
     reproducible. [on_message] fires for every message accepted onto
     the wire (i.e. after a strict-bandwidth drop but before a random
     drop); network-injected duplicate copies do not re-fire it and do
-    not add to edge load. *)
+    not add to edge load.
+
+    [?sink] receives the full structured event stream (see
+    {!Telemetry.Events}): [Run_start], per-round [Round_start],
+    [Message] on every wire acceptance (the exact occurrences
+    [on_message] sees — duplicate copies emit a [Fault Duplicate]
+    once, never a second [Message]), [Deliver] for fault-path
+    deliveries, [Fault] for every adversary action, and [Run_end].
+    The stream is complete: [Replay.trace_of_events] reconstructs this
+    run's trace counters from it exactly. Event emission is pure
+    observation — with [?sink] unset the execution, states and trace
+    are bit-for-bit the historical behaviour, and attaching a sink
+    never changes them. *)

@@ -66,9 +66,11 @@ val run :
   ?max_rounds:int ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
   ?faults:Fault.t ->
+  ?sink:Telemetry.Events.sink ->
   ?config:config ->
   Graphlib.Wgraph.t ->
   ('s, 'm) Engine.protocol ->
   's array * Engine.trace
 (** [Engine.run] of the wrapped protocol, with the inner states
-    projected out. *)
+    projected out. [?sink] observes the {e wire} protocol: data and
+    ack messages, retransmissions included. *)

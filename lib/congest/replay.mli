@@ -1,0 +1,20 @@
+(** Reconstruct engine trace counters from an emitted event stream.
+
+    The {!Telemetry.Events} stream an {!Engine.run} emits is complete:
+    every counter in the returned {!Engine.trace} is a pure function
+    of it. [trace_of_events] is that function — the executable
+    specification of the event schema, pinned against the engine by a
+    property test. If the two ever disagree, either the engine stopped
+    emitting an event it must, or the schema's meaning drifted. *)
+
+val trace_of_events : ?bandwidth:int -> Telemetry.Events.t list -> Engine.trace
+(** Replay a stream and return the trace it implies.
+
+    The stream may contain several engine executions (segments opened
+    by [Run_start], as produced by multi-phase drivers like
+    {!Tree.build} with one sink attached throughout); segment traces
+    are combined with {!Engine.add_traces}, matching what the drivers
+    return. Span events are ignored. [?bandwidth] (default 1) is only
+    used for events preceding any [Run_start]; within a segment the
+    [Run_start] bandwidth governs the congestion-violation
+    reconstruction. *)

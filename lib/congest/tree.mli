@@ -24,6 +24,7 @@ val build :
   ?bandwidth:int ->
   ?faults:Fault.t ->
   ?reliable:Reliable.config ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   root:int ->
   t * Engine.trace
@@ -38,13 +39,18 @@ val build :
     overhead recorded in the returned trace. [?bandwidth] is passed
     straight to {!Engine.run} (note the wrapper's 1-word header: with
     [Fault.strict_bandwidth] set, the bandwidth must exceed the
-    largest payload for data to flow at all). The same conventions
-    apply to every function below. *)
+    largest payload for data to flow at all). [?sink] is attached to
+    every underlying {!Engine.run} — multi-phase operations emit one
+    event-stream segment per phase ([Run_start] … [Run_end]), which
+    [Replay.trace_of_events] folds back into the summed trace these
+    functions return. The same conventions apply to every function
+    below. *)
 
 val convergecast :
   ?bandwidth:int ->
   ?faults:Fault.t ->
   ?reliable:Reliable.config ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   t ->
   values:'a array ->
@@ -59,6 +65,7 @@ val broadcast_tokens :
   ?bandwidth:int ->
   ?faults:Fault.t ->
   ?reliable:Reliable.config ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   t ->
   tokens:'tok list ->
@@ -71,6 +78,7 @@ val upcast :
   ?bandwidth:int ->
   ?faults:Fault.t ->
   ?reliable:Reliable.config ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   t ->
   items:'tok list array ->
@@ -85,6 +93,7 @@ val gather_broadcast :
   ?bandwidth:int ->
   ?faults:Fault.t ->
   ?reliable:Reliable.config ->
+  ?sink:Telemetry.Events.sink ->
   Graphlib.Wgraph.t ->
   t ->
   items:'tok list array ->

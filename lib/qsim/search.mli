@@ -6,7 +6,16 @@
     [minimum] are Dürr–Høyer optimum finding ([O(√N)] expected oracle
     calls). Both evolve the real state vector; query counts are what
     the benchmarks compare against the [√] scaling and against the
-    closed-form [dqo] model. *)
+    closed-form [dqo] model.
+
+    Each function optionally records into a {!Telemetry.Metrics}
+    registry: per completed search, one sample in the
+    [qsim.<algo>.oracle_calls] and [qsim.<algo>.measurements]
+    histograms plus a [qsim.<algo>.searches] counter tick, where
+    [<algo>] is [bbht] or [optimum]. [maximum]/[minimum] record under
+    [optimum] (and their inner [bbht] rounds under [bbht]), so the
+    per-call query distribution — not just the total — lands in the
+    unified snapshot. *)
 
 type 'a result = {
   found : 'a option;
@@ -20,6 +29,7 @@ val bbht :
   marked:(int -> bool) ->
   ?growth:float ->
   ?max_oracle_calls:int ->
+  ?metrics:Telemetry.Metrics.t ->
   unit ->
   int result
 (** Search for any marked element starting from [init]. Returns
@@ -33,6 +43,7 @@ val maximum :
   value:(int -> 'v) ->
   compare:('v -> 'v -> int) ->
   ?budget_factor:float ->
+  ?metrics:Telemetry.Metrics.t ->
   unit ->
   (int * 'v) result
 (** Dürr–Høyer maximum finding over [f : [0,N) -> 'v] starting from the
@@ -46,5 +57,6 @@ val minimum :
   value:(int -> 'v) ->
   compare:('v -> 'v -> int) ->
   ?budget_factor:float ->
+  ?metrics:Telemetry.Metrics.t ->
   unit ->
   (int * 'v) result

@@ -1,0 +1,168 @@
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (* A concurrent creator is fine; only a genuine failure should
+       escape. *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let artifacts_dir ?override () =
+  let dir =
+    match override with
+    | Some d when d <> "" -> d
+    | _ -> (
+      match Sys.getenv_opt "ARTIFACTS_DIR" with
+      | Some d when d <> "" -> d
+      | _ -> "bench_artifacts")
+  in
+  mkdir_p dir;
+  dir
+
+let write_file ~path content =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let write_events_jsonl ~path events =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Events.write_jsonl oc events;
+  close_out oc
+
+(* ------------------------- chrome trace-event ---------------------- *)
+
+(* 1 simulated round = 1000 trace µs, so round boundaries land on
+   millisecond gridlines in the Perfetto UI. *)
+let us_of_round r = r * 1000
+
+let chrome_trace ?(process_name = "qcongest") events =
+  let pid_tid = [ ("pid", Tjson.int 0); ("tid", Tjson.int 0) ] in
+  let instant name ~round args =
+    Tjson.obj
+      ([ ("name", Tjson.str name); ("ph", Tjson.str "i"); ("ts", Tjson.int (us_of_round round));
+         ("s", Tjson.str "t") ]
+      @ pid_tid
+      @ [ ("args", Tjson.obj args) ])
+  in
+  let metadata =
+    Tjson.obj
+      ([ ("name", Tjson.str "process_name"); ("ph", Tjson.str "M") ] @ pid_tid
+      @ [ ("args", Tjson.obj [ ("name", Tjson.str process_name) ]) ])
+  in
+  let trace_events =
+    List.filter_map
+      (fun (ev : Events.t) ->
+        match ev with
+        | Events.Run_start { protocol; n; bandwidth } ->
+          Some
+            (instant "run_start" ~round:0
+               [ ("protocol", Tjson.str protocol); ("n", Tjson.int n);
+                 ("bandwidth", Tjson.int bandwidth) ])
+        | Events.Round_start { round; active } ->
+          Some
+            (Tjson.obj
+               ([ ("name", Tjson.str "active_nodes"); ("ph", Tjson.str "C");
+                  ("ts", Tjson.int (us_of_round round)) ]
+               @ pid_tid
+               @ [ ("args", Tjson.obj [ ("active", Tjson.int active) ]) ]))
+        | Events.Message _ | Events.Deliver _ ->
+          (* Per-message instants overwhelm the viewer; the timeline /
+             heatmap CSVs carry that granularity instead. *)
+          None
+        | Events.Fault { round; node; peer; kind } ->
+          Some
+            (instant
+               ("fault:" ^ Events.fault_kind_name kind)
+               ~round
+               ([ ("node", Tjson.int node); ("peer", Tjson.int peer) ]
+               @
+               match kind with
+               | Events.Delay j -> [ ("jitter", Tjson.int j) ]
+               | Events.Drop_bandwidth w -> [ ("words", Tjson.int w) ]
+               | _ -> []))
+        | Events.Span_begin { name; round; wall_s } ->
+          Some
+            (Tjson.obj
+               ([ ("name", Tjson.str name); ("ph", Tjson.str "B");
+                  ("ts", Tjson.int (us_of_round round)) ]
+               @ pid_tid
+               @ [ ("args", Tjson.obj [ ("wall_s", Tjson.float wall_s) ]) ]))
+        | Events.Span_end { name; round; wall_s } ->
+          Some
+            (Tjson.obj
+               ([ ("name", Tjson.str name); ("ph", Tjson.str "E");
+                  ("ts", Tjson.int (us_of_round round)) ]
+               @ pid_tid
+               @ [ ("args", Tjson.obj [ ("wall_s", Tjson.float wall_s) ]) ]))
+        | Events.Run_end { round } -> Some (instant "run_end" ~round []))
+      events
+  in
+  Tjson.obj
+    [ ("traceEvents", Tjson.arr (metadata :: trace_events));
+      ("displayTimeUnit", Tjson.str "ms") ]
+
+let write_chrome_trace ?process_name ~path events =
+  write_file ~path (chrome_trace ?process_name events)
+
+(* ------------------------------- CSVs ------------------------------ *)
+
+type row = {
+  mutable active : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable delivers : int;
+  mutable faults : int;
+}
+
+let timeline_csv events =
+  let tbl : (int, row) Hashtbl.t = Hashtbl.create 64 in
+  let row round =
+    match Hashtbl.find_opt tbl round with
+    | Some r -> r
+    | None ->
+      let r = { active = 0; messages = 0; words = 0; delivers = 0; faults = 0 } in
+      Hashtbl.replace tbl round r;
+      r
+  in
+  List.iter
+    (fun (ev : Events.t) ->
+      match ev with
+      | Events.Round_start { round; active } -> (row round).active <- (row round).active + active
+      | Events.Message { round; words; _ } ->
+        let r = row round in
+        r.messages <- r.messages + 1;
+        r.words <- r.words + words
+      | Events.Deliver { round; _ } -> (row round).delivers <- (row round).delivers + 1
+      | Events.Fault { round; _ } -> (row round).faults <- (row round).faults + 1
+      | _ -> ())
+    events;
+  let rounds = Hashtbl.fold (fun r _ acc -> r :: acc) tbl [] |> List.sort compare in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "round,active,messages,words,delivers,faults\n";
+  List.iter
+    (fun round ->
+      let r = Hashtbl.find tbl round in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d\n" round r.active r.messages r.words r.delivers
+           r.faults))
+    rounds;
+  Buffer.contents b
+
+let heatmap_csv events =
+  let tbl : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Events.t) ->
+      match ev with
+      | Events.Message { src; dst; words; _ } ->
+        let m, w = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl (src, dst)) in
+        Hashtbl.replace tbl (src, dst) (m + 1, w + words)
+      | _ -> ())
+    events;
+  let edges = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "src,dst,messages,words\n";
+  List.iter
+    (fun ((src, dst), (m, w)) -> Buffer.add_string b (Printf.sprintf "%d,%d,%d,%d\n" src dst m w))
+    edges;
+  Buffer.contents b

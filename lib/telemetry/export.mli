@@ -1,0 +1,37 @@
+(** Exporters turning event streams into on-disk artifacts.
+
+    All artifacts land under the directory returned by
+    {!artifacts_dir} unless an explicit path is given. Formats:
+
+    - {b JSONL} — one {!Events.to_json} object per line; the lossless
+      form, sufficient to replay trace counters.
+    - {b Chrome trace-event JSON} — loadable in [chrome://tracing] or
+      Perfetto ([ui.perfetto.dev]). Simulated rounds are mapped onto
+      the time axis (1 round = 1 ms = 1000 µs of trace time);
+      [Span_begin]/[Span_end] become ["B"]/["E"] duration events,
+      faults become instant events, per-round activity becomes an
+      ["active_nodes"] counter track.
+    - {b timeline CSV} — per-round aggregates
+      ([round,active,messages,words,delivers,faults]).
+    - {b heatmap CSV} — per-directed-edge load
+      ([src,dst,messages,words]), the per-edge congestion picture. *)
+
+val artifacts_dir : ?override:string -> unit -> string
+(** Resolve the artifacts directory and create it (and parents) if
+    missing. Priority: [override] argument, then the [ARTIFACTS_DIR]
+    environment variable (if non-empty), then ["bench_artifacts"]. *)
+
+val mkdir_p : string -> unit
+
+val write_file : path:string -> string -> unit
+
+val write_events_jsonl : path:string -> Events.t list -> unit
+
+val chrome_trace : ?process_name:string -> Events.t list -> string
+(** The trace-event JSON document:
+    [{"traceEvents":[...],"displayTimeUnit":"ms"}]. *)
+
+val write_chrome_trace : ?process_name:string -> path:string -> Events.t list -> unit
+
+val timeline_csv : Events.t list -> string
+val heatmap_csv : Events.t list -> string

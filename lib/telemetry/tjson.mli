@@ -1,0 +1,21 @@
+(** Minimal JSON emission helpers.
+
+    Every other telemetry module serializes through these so that the
+    whole layer stays free of third-party dependencies. Values are
+    already-encoded JSON fragments; only [str] performs escaping. *)
+
+val str : string -> string
+(** Quoted, escaped JSON string. *)
+
+val int : int -> string
+
+val float : float -> string
+(** Finite floats render with enough digits to round-trip; NaN and
+    infinities (not representable in JSON) render as [0]. *)
+
+val bool : bool -> string
+
+val obj : (string * string) list -> string
+(** [obj [("k", v); ...]] — field values must be valid JSON. *)
+
+val arr : string list -> string

@@ -339,6 +339,35 @@ let test_fault_duplicate () =
   check "every message duplicated" trace.Engine.messages trace.Engine.duplicated;
   check "protocol sends unchanged" 5 trace.Engine.messages
 
+let test_duplicates_do_not_refire_observers () =
+  (* Regression: network-injected duplicate copies are invisible to
+     [?on_message] and emit no extra [Message] event — only the
+     protocol's own sends are observed, once each. *)
+  let g = unit_path 6 in
+  let faults = Fault.make ~seed:5 ~duplicate:1.0 () in
+  let hook_calls = ref 0 in
+  let sink, drain = Telemetry.Events.collector () in
+  let _, trace =
+    Engine.run
+      ~on_message:(fun ~round:_ ~src:_ ~dst:_ ~words:_ -> incr hook_calls)
+      ~faults ~sink g relay_protocol
+  in
+  check "5 protocol sends" 5 trace.Engine.messages;
+  check "every send duplicated" 5 trace.Engine.duplicated;
+  check "hook fired once per send" 5 !hook_calls;
+  let events = drain () in
+  let count p = List.length (List.filter p events) in
+  check "one Message event per send" 5
+    (count (function Telemetry.Events.Message _ -> true | _ -> false));
+  check "one Duplicate fault per send" 5
+    (count (function
+      | Telemetry.Events.Fault { kind = Telemetry.Events.Duplicate; _ } -> true
+      | _ -> false));
+  (* Both copies do get delivered — that is the calendar's business,
+     not the observers'. *)
+  check "two Deliver events per send" 10
+    (count (function Telemetry.Events.Deliver _ -> true | _ -> false))
+
 let test_fault_crash () =
   let g = unit_path 6 in
   let faults = Fault.make ~seed:1 ~crashes:[ (3, 2) ] () in
@@ -660,6 +689,8 @@ let () =
           Alcotest.test_case "drop all" `Quick test_fault_drop_all;
           Alcotest.test_case "delay jitter" `Quick test_fault_delay;
           Alcotest.test_case "duplication" `Quick test_fault_duplicate;
+          Alcotest.test_case "duplicates invisible to hook and sink" `Quick
+            test_duplicates_do_not_refire_observers;
           Alcotest.test_case "fail-stop crash" `Quick test_fault_crash;
           Alcotest.test_case "strict bandwidth" `Quick test_fault_strict_bandwidth;
           Alcotest.test_case "seeded determinism" `Quick test_fault_deterministic;
