@@ -1,0 +1,243 @@
+(* Perf-trajectory bench for the simulator hot paths.
+
+   Measures the optimized production implementations against the frozen
+   "before" arms — Congest.Engine_reference (the seed round loop) and a
+   seed-style serial Dijkstra sweep — on the three workloads every
+   experiment in this repo is built from: a long relay chain (round-loop
+   overhead), a dense flood (per-message ledger cost), and the exact
+   APSP/eccentricity baseline (Dijkstra + domain fan-out).
+
+   Results go to BENCH_engine.json in the current directory (the repo
+   root under `dune exec bench/main.exe -- perf`, where the committed
+   trajectory lives) plus a copy under bench_artifacts/. Each arm's
+   outputs are asserted identical before timing is reported, so a
+   "speedup" can never be bought with a semantics change.
+
+   QCONGEST_PERF_SMOKE=1 shrinks the sizes for CI. *)
+
+let smoke () = Sys.getenv_opt "QCONGEST_PERF_SMOKE" <> None
+
+let now () = Telemetry.Clock.now Telemetry.Clock.wall
+
+let best_of reps f =
+  let y = ref (f ()) in
+  let best = ref infinity in
+  for _ = 1 to max 1 reps do
+    let t0 = now () in
+    y := f ();
+    let w = now () -. t0 in
+    if w < !best then best := w
+  done;
+  (!y, !best)
+
+(* ------------------------------ Protocols -------------------------- *)
+
+(* Relay: a token walks the path, one active node per round. Rounds
+   scale with n while per-round work stays tiny, so this isolates the
+   fixed cost of one engine round (the seed loop paid an O(n) inbox
+   scan there). *)
+let relay_protocol : (int, int) Congest.Engine.protocol =
+  {
+    name = "perf-relay";
+    size_words = (fun _ -> 1);
+    init =
+      (fun view ->
+        if view.Congest.Node_view.id = 0 then (0, Congest.Engine.send [ (1, 0) ])
+        else (-1, Congest.Engine.no_action));
+    on_round =
+      (fun view ~round:_ s ~inbox ->
+        match inbox with
+        | [] -> (s, Congest.Engine.no_action)
+        | { Congest.Engine.msg; _ } :: _ ->
+          let next = view.Congest.Node_view.id + 1 in
+          if next < view.Congest.Node_view.n then
+            (msg + 1, Congest.Engine.send [ (next, msg + 1) ])
+          else (msg + 1, Congest.Engine.no_action));
+  }
+
+(* Flood: BFS levels; every node fires once, to all neighbors. Message
+   count scales with m, so this isolates the per-message cost (ledger,
+   inbox append, event-free delivery). *)
+let flood_protocol : (int, int) Congest.Engine.protocol =
+  {
+    name = "perf-flood";
+    size_words = (fun _ -> 1);
+    init =
+      (fun view ->
+        let nbrs = view.Congest.Node_view.neighbors in
+        if view.Congest.Node_view.id = 0 then
+          (0, Congest.Engine.send (Array.to_list (Array.map (fun (v, _) -> (v, 1)) nbrs)))
+        else (-1, Congest.Engine.no_action));
+    on_round =
+      (fun view ~round:_ s ~inbox ->
+        if s >= 0 || inbox = [] then (s, Congest.Engine.no_action)
+        else
+          let lvl = List.fold_left (fun acc e -> min acc e.Congest.Engine.msg) max_int inbox in
+          let nbrs = view.Congest.Node_view.neighbors in
+          (lvl, Congest.Engine.send (Array.to_list (Array.map (fun (v, _) -> (v, lvl + 1)) nbrs))));
+  }
+
+(* The seed exact-baseline arm: Dijkstra on the tuple-array adjacency
+   with the closure-compare heap, one source after another — what
+   Apsp.eccentricities compiled to before the CSR/Int_pq/Domain_pool
+   overhaul. *)
+let reference_eccentricity g ~src =
+  let n = Graphlib.Wgraph.n g in
+  let dist = Array.make n Graphlib.Dist.inf in
+  let pq = Util.Pqueue.create ~n ~compare in
+  dist.(src) <- 0;
+  Util.Pqueue.insert pq ~key:src ~prio:0;
+  let continue = ref true in
+  while !continue do
+    match Util.Pqueue.pop_min pq with
+    | None -> continue := false
+    | Some (u, du) ->
+      if du = dist.(u) then
+        Array.iter
+          (fun (v, w) ->
+            let cand = Graphlib.Dist.add du w in
+            if cand < dist.(v) then begin
+              dist.(v) <- cand;
+              Util.Pqueue.insert_or_decrease pq ~key:v ~prio:cand
+            end)
+          (Graphlib.Wgraph.neighbors g u)
+  done;
+  Array.fold_left max 0 dist
+
+let reference_eccentricities g =
+  Array.init (Graphlib.Wgraph.n g) (fun src -> reference_eccentricity g ~src)
+
+(* ------------------------------ Cases ------------------------------ *)
+
+type case = {
+  name : string;
+  n : int;
+  wall_s : float;
+  ref_wall_s : float;
+  metric : string; (* "rounds_per_s" | "messages_per_s" | "sources_per_s" *)
+  metric_value : float;
+}
+
+let speedup c = if c.wall_s > 0.0 then c.ref_wall_s /. c.wall_s else infinity
+
+let run_engine_case ~name ~metric ~count g proto ~reps =
+  let n = Graphlib.Wgraph.n g in
+  let (states, trace), wall_s = best_of reps (fun () -> Congest.Engine.run g proto) in
+  let (ref_states, ref_trace), ref_wall_s =
+    best_of reps (fun () -> Congest.Engine_reference.run g proto)
+  in
+  if states <> ref_states || trace <> ref_trace then
+    failwith (Printf.sprintf "perf %s: optimized engine diverged from reference" name);
+  let units = float_of_int (count trace) in
+  {
+    name;
+    n;
+    wall_s;
+    ref_wall_s;
+    metric;
+    metric_value = (if wall_s > 0.0 then units /. wall_s else 0.0);
+  }
+
+let relay_case ~reps n =
+  let g = Graphlib.Gen.path ~n ~weighting:Graphlib.Gen.Unit ~rng:(Bench_common.rng 1) in
+  run_engine_case ~name:"engine-relay" ~metric:"rounds_per_s"
+    ~count:(fun t -> t.Congest.Engine.rounds)
+    g relay_protocol ~reps
+
+let flood_case ~reps ~cliques ~clique_size =
+  let g = Bench_common.ring_of_cliques ~cliques ~clique_size ~max_w:8 ~seed:2 in
+  run_engine_case ~name:"engine-flood" ~metric:"messages_per_s"
+    ~count:(fun t -> t.Congest.Engine.messages)
+    g flood_protocol ~reps
+
+let apsp_case ~reps ~jobs ~cliques ~clique_size =
+  let g = Bench_common.ring_of_cliques ~cliques ~clique_size ~max_w:16 ~seed:3 in
+  let n = Graphlib.Wgraph.n g in
+  let ecc, wall_s =
+    best_of reps (fun () ->
+        Util.Domain_pool.run ~jobs n (fun src -> Graphlib.Dijkstra.eccentricity g ~src))
+  in
+  let ref_ecc, ref_wall_s = best_of reps (fun () -> reference_eccentricities g) in
+  if ecc <> ref_ecc then failwith "perf apsp-ecc: optimized sweep diverged from reference";
+  {
+    name = "apsp-ecc";
+    n;
+    wall_s;
+    ref_wall_s;
+    metric = "sources_per_s";
+    metric_value = (if wall_s > 0.0 then float_of_int n /. wall_s else 0.0);
+  }
+
+(* ------------------------------ Output ----------------------------- *)
+
+let cases_to_json ~jobs ~smoke cases =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"qcongest-perf/v1\",";
+  Buffer.add_string b "\"bench\":\"engine-hot-path\",";
+  Buffer.add_string b (Printf.sprintf "\"smoke\":%b,\"jobs\":%d,\"cases\":[" smoke jobs);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":%S,\"n\":%d,\"wall_s\":%.6f,\"%s\":%.1f,\"ref_wall_s\":%.6f,\"speedup_vs_reference\":%.2f}"
+           c.name c.n c.wall_s c.metric c.metric_value c.ref_wall_s (speedup c)))
+    cases;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_json path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc;
+  Bench_common.note "wrote %s" path
+
+let run () =
+  Bench_common.section
+    "PERF — engine round loop and exact baselines: optimized vs reference";
+  let smoke = smoke () in
+  let reps = if smoke then 1 else 3 in
+  (* The acceptance target for the APSP arm is >= 4 domains; honor a
+     larger explicit setting, never a smaller one. *)
+  let jobs = max 4 (Util.Domain_pool.default_jobs ()) in
+  let relay_sizes = if smoke then [ 500 ] else [ 1000; 2000; 4000 ] in
+  let flood_shapes = if smoke then [ (16, 16) ] else [ (32, 32); (32, 48); (32, 64) ] in
+  let apsp_shapes = if smoke then [ (10, 12) ] else [ (40, 25); (50, 40) ] in
+  let t =
+    Util.Table.create_aligned
+      ~headers:
+        [
+          ("case", Util.Table.Left);
+          ("n", Util.Table.Right);
+          ("metric", Util.Table.Left);
+          ("value", Util.Table.Right);
+          ("opt wall s", Util.Table.Right);
+          ("ref wall s", Util.Table.Right);
+          ("speedup", Util.Table.Right);
+        ]
+  in
+  let cases =
+    List.map (fun n -> relay_case ~reps n) relay_sizes
+    @ List.map (fun (c, s) -> flood_case ~reps ~cliques:c ~clique_size:s) flood_shapes
+    @ List.map (fun (c, s) -> apsp_case ~reps ~jobs ~cliques:c ~clique_size:s) apsp_shapes
+  in
+  List.iter
+    (fun c ->
+      Util.Table.add_row t
+        [
+          c.name;
+          string_of_int c.n;
+          c.metric;
+          Bench_common.fmt_large c.metric_value;
+          Printf.sprintf "%.4f" c.wall_s;
+          Printf.sprintf "%.4f" c.ref_wall_s;
+          Printf.sprintf "%.2fx" (speedup c);
+        ])
+    cases;
+  Util.Table.print t;
+  Bench_common.note "all arms verified identical (states, traces, eccentricities)";
+  Bench_common.note "APSP arm ran with %d domains" jobs;
+  let json = cases_to_json ~jobs ~smoke cases in
+  write_json "BENCH_engine.json" json;
+  write_json (Filename.concat (Bench_common.artifact_dir ()) "BENCH_engine.json") json

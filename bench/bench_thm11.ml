@@ -27,7 +27,10 @@ let scaling () =
       (* Median over seeds: one stochastic search run has high variance
          in which sets it touches (and so in the measured eval bound). *)
       let runs =
-        List.init reps (fun i ->
+        (* Independent seeded trials: fan out over the domain pool
+           (--jobs / QCONGEST_JOBS), merged in seed order, so the
+           medians below are identical at any job count. *)
+        Util.Domain_pool.init_list reps (fun i ->
             Core.Algorithm.run g Core.Algorithm.Diameter ~rng:(Bench_common.rng (n + i)))
       in
       let rounds_med =
@@ -246,7 +249,7 @@ let crossover () =
       let d = Bench_common.d_unweighted g in
       let qrounds =
         Util.Stats.median
-          (List.init 3 (fun i ->
+          (Util.Domain_pool.init_list 3 (fun i ->
                let q =
                  Core.Algorithm.run g Core.Algorithm.Diameter
                    ~rng:(Bench_common.rng (cliques + 50 + i))

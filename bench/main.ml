@@ -19,13 +19,31 @@ let sections : (string * string * (unit -> unit)) list =
     ("lower", "Theorems 1.2/4.2/4.8: lower-bound chain", Bench_lower.run);
     ("ablation", "Ablations: k-shortcut trade-off, search strategies", Bench_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
+    ("perf", "Engine/APSP hot-path trajectory (BENCH_engine.json)", Bench_perf.run);
   ]
 
 let () =
+  (* [--jobs=N] (anywhere on the command line) sets the Domain_pool
+     default for every section; QCONGEST_JOBS overrides it. *)
+  let args =
+    List.filter
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+          (match int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1)) with
+          | Some j when j >= 1 ->
+            Util.Domain_pool.set_default_jobs j;
+            false
+          | _ ->
+            Printf.eprintf "bad --jobs value in %S\n" a;
+            exit 1)
+        | _ -> true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map (fun (name, _, _) -> name) sections
+    match args with
+    | _ :: _ as names -> names
+    | [] -> List.map (fun (name, _, _) -> name) sections
   in
   let t0 = Sys.time () in
   Printf.printf

@@ -42,6 +42,18 @@ let input_arg =
         ~doc:"Load the graph from an edge-list file (overrides --family; format: 'n <count>' \
               header then 'u v w' lines).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Worker domains for host-side parallel sweeps (exact APSP baselines, ground-truth \
+           checks). Defaults to $(b,QCONGEST_JOBS), else the machine's recommended domain \
+           count; the environment variable takes precedence over this flag.")
+
+let set_jobs = function Some j -> Util.Domain_pool.set_default_jobs j | None -> ()
+
 let make_graph ?input family n max_w cliques seed =
   match input with
   | Some path -> Graphlib.Io.load ~path
@@ -68,7 +80,8 @@ let describe g =
 
 (* --------------------------- subcommands --------------------------- *)
 
-let run_quantum objective input family n max_w cliques seed =
+let run_quantum objective jobs input family n max_w cliques seed =
+  set_jobs jobs;
   let g = make_graph ?input family n max_w cliques seed in
   describe g;
   let rng = Util.Rng.create ~seed:(seed + 1) in
@@ -81,7 +94,7 @@ let diameter_cmd =
   let term =
     Term.(
       const (run_quantum Core.Algorithm.Diameter)
-      $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+      $ jobs_arg $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "diameter" ~doc:"Quantum (1+o(1))-approximate weighted diameter (Theorem 1.1).")
     term
@@ -90,11 +103,12 @@ let radius_cmd =
   let term =
     Term.(
       const (run_quantum Core.Algorithm.Radius)
-      $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+      $ jobs_arg $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "radius" ~doc:"Quantum (1+o(1))-approximate weighted radius (Theorem 1.1).") term
 
-let run_classical input family n max_w cliques seed =
+let run_classical jobs input family n max_w cliques seed =
+  set_jobs jobs;
   let g = make_graph ?input family n max_w cliques seed in
   describe g;
   let tree, ttrace = Congest.Tree.build g ~root:0 in
@@ -108,7 +122,9 @@ let run_classical input family n max_w cliques seed =
 
 let classical_cmd =
   let term =
-    Term.(const run_classical $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
+    Term.(
+      const run_classical
+      $ jobs_arg $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg)
   in
   Cmd.v (Cmd.info "classical" ~doc:"Exact classical APSP baseline (token-flood protocol).") term
 

@@ -81,8 +81,45 @@ type limit_info = { protocol : string; round_reached : int; partial : trace }
 
 exception Round_limit_exceeded of limit_info
 
-type 'm mailbox = { mutable inbox : 'm envelope list (* reversed during accumulation *) }
+(* Inboxes are reusable growable buffers: envelopes are appended in
+   arrival order and the live prefix is snapshotted (and stably sorted
+   by sender) once per activation, so the steady state allocates one
+   short-lived array + list per active node per round instead of
+   cons/rev/merge-sorting a fresh list. The buffer keeps its high-water
+   capacity (and the envelopes last stored in it) across rounds — the
+   retention is bounded by the largest inbox ever seen per node. *)
+type 'm mailbox = { mutable data : 'm envelope array; mutable len : int }
 
+let mailbox_push b e =
+  let cap = Array.length b.data in
+  if b.len = cap then begin
+    let data = Array.make (if cap = 0 then 4 else 2 * cap) e in
+    Array.blit b.data 0 data 0 b.len;
+    b.data <- data
+  end;
+  b.data.(b.len) <- e;
+  b.len <- b.len + 1
+
+(* Merge two strictly-increasing id lists; equals List.sort_uniq on
+   their concatenation. *)
+let rec merge_uniq a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    if x < y then x :: merge_uniq xs b
+    else if y < x then y :: merge_uniq a ys
+    else x :: merge_uniq xs ys
+
+(* The round loop below is the simulator's hot path: every baseline in
+   the repo burns the bulk of its wall time here. It is pinned
+   bit-identical — final states, trace, and full event stream — to the
+   original Hashtbl/cons-list loop kept in Engine_reference, by a
+   QCheck property over fault-free and adversarial scenario classes.
+   The load/violation ledger lives in flat int arrays indexed by CSR
+   arc id (which doubles as the neighbor check), reset via a dirty
+   list; the next event round comes from one lazy-deletion int heap
+   instead of Hashtbl.fold min-scans; and the per-round active-set
+   scan over all n inboxes is replaced by a touched-node list. *)
 let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g proto =
   let n = Graphlib.Wgraph.n g in
   if n = 0 then invalid_arg "Engine.run: empty graph";
@@ -101,9 +138,47 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     Array.init n (fun id ->
         { Node_view.id; n; max_w; neighbors = Graphlib.Wgraph.neighbors g id })
   in
-  let boxes = Array.init n (fun _ -> { inbox = [] }) in
-  (* Wake-up calendar: round -> nodes (possibly with duplicates; a node
-     scheduled several times for one round activates once). *)
+  let { Graphlib.Wgraph.row_start; csr_dst; csr_w = _ } = Graphlib.Wgraph.csr g in
+  let arc_count = row_start.(n) in
+  (* Directed arc id of (src, dst), or -1 if dst is not a neighbor of
+     src: rank of dst in src's sorted CSR row. One binary search serves
+     both the non-neighbor send check and the ledger index. *)
+  let arc_of ~src ~dst =
+    let lo = ref row_start.(src) and hi = ref (row_start.(src + 1) - 1) in
+    let found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      let d = csr_dst.(mid) in
+      if d = dst then begin
+        found := mid;
+        lo := !hi + 1
+      end
+      else if d < dst then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  in
+  let boxes = Array.init n (fun _ -> { data = [||]; len = 0 }) in
+  (* Nodes whose inbox became nonempty since the last activation round,
+     in delivery order. Every delivered-to node is activated (and its
+     box drained) at the next chosen round, so this list is exactly the
+     nonempty-inbox set when it is consumed. *)
+  let touched = Array.make n 0 in
+  let n_touched = ref 0 in
+  let inbox_put dst env =
+    let b = boxes.(dst) in
+    if b.len = 0 then begin
+      touched.(!n_touched) <- dst;
+      incr n_touched
+    end;
+    mailbox_push b env
+  in
+  (* Event calendar: one lazy-deletion min-heap over the rounds that own
+     a wake or arrival bucket. A round is pushed when its bucket is
+     created and discarded from the top once the loop has passed it, so
+     the next-event query is O(log #buckets) instead of folding over
+     every pending bucket. *)
+  let calendar = Util.Int_heap.create ~capacity:64 () in
   let wake_tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   let schedule_wake ~now node rounds =
     List.iter
@@ -111,14 +186,33 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
         if r <= now then invalid_arg (proto.name ^ ": wake not in the future");
         match Hashtbl.find_opt wake_tbl r with
         | Some l -> l := node :: !l
-        | None -> Hashtbl.replace wake_tbl r (ref [ node ]))
+        | None ->
+          Hashtbl.replace wake_tbl r (ref [ node ]);
+          Util.Int_heap.push calendar r)
       rounds
   in
-  (* Per-round per-directed-edge load and the set of edges already past
-     the bandwidth this round (so one overloaded edge-round counts as
-     exactly one violation no matter how the overload accumulates). *)
-  let load : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let violated : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-round per-directed-edge load and the violated flag (so one
+     overloaded edge-round counts as exactly one violation no matter how
+     the overload accumulates), in flat arrays indexed by arc id. Only
+     the arcs actually touched this round are reset, via [dirty]. *)
+  let load = Array.make (max 1 arc_count) 0 in
+  let violated = Array.make (max 1 arc_count) false in
+  let dirty = Array.make (max 1 arc_count) 0 in
+  let n_dirty = ref 0 in
+  let touch_arc a =
+    if load.(a) = 0 && not violated.(a) then begin
+      dirty.(!n_dirty) <- a;
+      incr n_dirty
+    end
+  in
+  let reset_round_ledger () =
+    for i = 0 to !n_dirty - 1 do
+      let a = dirty.(i) in
+      load.(a) <- 0;
+      violated.(a) <- false
+    done;
+    n_dirty := 0
+  in
   let messages = ref 0 and words = ref 0 in
   let max_edge_load = ref 0 and violations = ref 0 in
   let activations = ref 0 in
@@ -126,9 +220,10 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
   let last_send_round = ref (-1) in
   let last_arrival_round = ref 0 in
   let any_sends_this_round = ref false in
-  let record_violation key =
-    if not (Hashtbl.mem violated key) then begin
-      Hashtbl.replace violated key ();
+  let record_violation a =
+    if not violated.(a) then begin
+      touch_arc a;
+      violated.(a) <- true;
       incr violations
     end
   in
@@ -142,15 +237,19 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     match adversary with None -> max_int | Some (_, _, cr) -> cr.(id)
   in
   (* Delayed-delivery calendar (fault path only): arrival round ->
-     (dst, envelope) list, reversed during accumulation. *)
+     (dst, envelope) list, reversed during accumulation. Bucket rounds
+     share the wake calendar heap. *)
   let arrivals : (int, (int * 'm envelope) list ref) Hashtbl.t = Hashtbl.create 64 in
   let enqueue_arrival ~arrival dst env =
     match Hashtbl.find_opt arrivals arrival with
     | Some l -> l := (dst, env) :: !l
-    | None -> Hashtbl.replace arrivals arrival (ref [ (dst, env) ])
+    | None ->
+      Hashtbl.replace arrivals arrival (ref [ (dst, env) ]);
+      Util.Int_heap.push calendar arrival
   in
   let deliver ~round src (dst, msg) =
-    if not (Node_view.is_neighbor views.(src) dst) then
+    let a = arc_of ~src ~dst in
+    if a < 0 then
       invalid_arg (Printf.sprintf "%s: node %d sent to non-neighbor %d" proto.name src dst);
     let sz = proto.size_words msg in
     if sz < 1 then invalid_arg (proto.name ^ ": message size < 1 word");
@@ -158,21 +257,21 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     words := !words + sz;
     any_sends_this_round := true;
     last_send_round := round;
-    let key = (src * n) + dst in
-    let cur = Option.value ~default:0 (Hashtbl.find_opt load key) in
+    let cur = load.(a) in
     match adversary with
     | None ->
+      touch_arc a;
       let cur' = cur + sz in
-      Hashtbl.replace load key cur';
+      load.(a) <- cur';
       if cur' > !max_edge_load then max_edge_load := cur';
-      if cur' > bandwidth then record_violation key;
+      if cur' > bandwidth then record_violation a;
       if observed then emit (Telemetry.Events.Message { round; src; dst; words = sz });
-      boxes.(dst).inbox <- { src; msg } :: boxes.(dst).inbox
+      inbox_put dst { src; msg }
     | Some (f, rng, _) ->
       if f.Fault.strict_bandwidth && cur + sz > bandwidth then begin
         (* NIC-enforced bandwidth: the whole message is dropped at the
            sender; the edge-round is recorded as violated exactly once. *)
-        record_violation key;
+        record_violation a;
         incr dropped;
         if observed then
           emit
@@ -180,10 +279,11 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
                { round; node = src; peer = dst; kind = Telemetry.Events.Drop_bandwidth sz })
       end
       else begin
+        touch_arc a;
         let cur' = cur + sz in
-        Hashtbl.replace load key cur';
+        load.(a) <- cur';
         if cur' > !max_edge_load then max_edge_load := cur';
-        if cur' > bandwidth then record_violation key;
+        if cur' > bandwidth then record_violation a;
         if observed then emit (Telemetry.Events.Message { round; src; dst; words = sz });
         if f.Fault.drop > 0.0 && Util.Rng.bernoulli rng ~p:f.Fault.drop then begin
           incr dropped;
@@ -243,7 +343,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
             if r > !last_arrival_round then last_arrival_round := r;
             if observed then
               emit (Telemetry.Events.Deliver { round = r; src = env.src; dst });
-            boxes.(dst).inbox <- env :: boxes.(dst).inbox
+            inbox_put dst env
           end)
         (List.rev !l);
       !delivered
@@ -274,8 +374,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     emit (Telemetry.Events.Run_start { protocol = proto.name; n; bandwidth });
     emit (Telemetry.Events.Round_start { round = 0; active = n })
   end;
-  Hashtbl.reset load;
-  Hashtbl.reset violated;
+  reset_round_ledger ();
   any_sends_this_round := false;
   let apply_init id (s, act) =
     incr activations;
@@ -291,13 +390,24 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     done;
     states
   in
-  (* Nodes whose inbox was filled this round become active next round. *)
+  (* Nodes whose inbox was filled this round become active next round:
+     the touched list, sorted ascending (ids are distinct by
+     construction). *)
   let next_active_from_inboxes () =
-    let acc = ref [] in
-    for id = n - 1 downto 0 do
-      if boxes.(id).inbox <> [] then acc := id :: !acc
-    done;
-    !acc
+    let k = !n_touched in
+    n_touched := 0;
+    let ids = Array.sub touched 0 k in
+    Array.sort Int.compare ids;
+    Array.to_list ids
+  in
+  (* Smallest calendar round still in the future; buckets the loop has
+     already consumed leave stale heap entries behind, discarded here. *)
+  let rec calendar_round () =
+    match Util.Int_heap.peek calendar with
+    | Some r when r <= !round ->
+      ignore (Util.Int_heap.pop calendar);
+      calendar_round ()
+    | top -> top
   in
   let continue = ref true in
   while !continue do
@@ -305,20 +415,12 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
     let msg_round =
       if adversary = None && !any_sends_this_round then Some (!round + 1) else None
     in
-    let min_key tbl =
-      Hashtbl.fold
-        (fun r _ acc ->
-          if r > !round then match acc with Some a -> Some (min a r) | None -> Some r else acc)
-        tbl None
-    in
-    let wake_round = min_key wake_tbl in
-    let arrival_round = if adversary = None then None else min_key arrivals in
-    let min_opt a b =
-      match (a, b) with
+    let next =
+      match (msg_round, calendar_round ()) with
       | None, x | x, None -> x
       | Some a, Some b -> Some (min a b)
     in
-    match min_opt msg_round (min_opt wake_round arrival_round) with
+    match next with
     | None -> continue := false
     | Some r ->
       if r > max_rounds then
@@ -336,29 +438,30 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
         match Hashtbl.find_opt wake_tbl r with
         | Some l ->
           Hashtbl.remove wake_tbl r;
-          List.sort_uniq compare !l
+          List.sort_uniq Int.compare !l
         | None -> []
       in
       let active =
-        List.filter
-          (fun id -> crashed_at id > r)
-          (List.sort_uniq compare (from_inbox @ from_wake))
+        List.filter (fun id -> crashed_at id > r) (merge_uniq from_inbox from_wake)
       in
       if observed then
         emit (Telemetry.Events.Round_start { round = r; active = List.length active });
       (* Snapshot and clear inboxes before running handlers so that
-         messages sent in round r arrive in round r+1. *)
+         messages sent in round r arrive in round r+1. Buffers hold
+         envelopes in arrival order; the stable sort by sender matches
+         the reference's rev + stable list sort. *)
       let snapshots =
         List.map
           (fun id ->
-            let inbox = List.rev boxes.(id).inbox in
-            boxes.(id).inbox <- [];
-            (id, List.sort (fun a b -> compare a.src b.src) inbox))
+            let b = boxes.(id) in
+            let inbox = Array.sub b.data 0 b.len in
+            b.len <- 0;
+            Array.stable_sort (fun (x : _ envelope) y -> Int.compare x.src y.src) inbox;
+            (id, Array.to_list inbox))
           active
       in
       round := r;
-      Hashtbl.reset load;
-      Hashtbl.reset violated;
+      reset_round_ledger ();
       any_sends_this_round := false;
       List.iter
         (fun (id, inbox) ->
@@ -382,7 +485,10 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
           emit
             (Telemetry.Events.Fault
                { round = r; node = id; peer = -1; kind = Telemetry.Events.Crash }))
-        (List.sort compare !crashes)
+        (List.sort
+           (fun (r1, i1) (r2, i2) ->
+             if r1 <> r2 then Int.compare r1 r2 else Int.compare i1 i2)
+           !crashes)
     | None -> ());
     emit (Telemetry.Events.Run_end { round = trace.rounds })
   end;

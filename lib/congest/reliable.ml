@@ -117,7 +117,7 @@ let accept streams ~src ~seq ~body =
   if seq < stream.expected || List.mem_assoc seq stream.parked then (streams, [])
   else if seq > stream.expected then
     let parked =
-      List.sort (fun (a, _) (b, _) -> compare a b) ((seq, body) :: stream.parked)
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) ((seq, body) :: stream.parked)
     in
     ((src, { stream with parked }) :: List.remove_assoc src streams, [])
   else begin
@@ -142,7 +142,7 @@ let wrap ?(config = default_config) (p : ('s, 'm) Engine.protocol) :
       | Some d when d > round -> d :: extra_wakes
       | _ -> extra_wakes
     in
-    (st, { Engine.sends; wakes = List.sort_uniq compare wakes })
+    (st, { Engine.sends; wakes = List.sort_uniq Int.compare wakes })
   in
   {
     name = "reliable:" ^ p.name;
@@ -197,7 +197,7 @@ let wrap ?(config = default_config) (p : ('s, 'm) Engine.protocol) :
         (* Inbox arrives sorted by src; within one src the deliveries
            are already in sequence order. *)
         let fresh =
-          List.stable_sort (fun a b -> compare a.Engine.src b.Engine.src) (List.rev !fresh)
+          List.stable_sort (fun a b -> Int.compare a.Engine.src b.Engine.src) (List.rev !fresh)
         in
         (* 3. Run the inner protocol iff it has input or asked for
            this wake-up (spurious retransmission wakes stay invisible

@@ -278,7 +278,7 @@ let build ?bandwidth ?faults ?reliable ?sink g ~root =
     (fun id s ->
       parent.(id) <- s.b_parent;
       level.(id) <- (if id = root then 0 else s.b_level);
-      children.(id) <- Array.of_list (List.sort compare s.b_children))
+      children.(id) <- Array.of_list (List.sort Int.compare s.b_children))
     states;
   let provisional = { root; parent; children; level; depth = 0 } in
   (* Nodes learn the depth: convergecast of max level, then broadcast.

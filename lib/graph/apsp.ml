@@ -1,7 +1,13 @@
-let all_distances g = Array.init (Wgraph.n g) (fun src -> Dijkstra.distances g ~src)
+(* The n source sweeps are independent, so they fan out over
+   Util.Domain_pool (QCONGEST_JOBS / --jobs; deterministic merge order,
+   so every function below returns exactly what the serial loop
+   returns, at any job count). *)
+
+let all_distances g =
+  Util.Domain_pool.run (Wgraph.n g) (fun src -> Dijkstra.distances g ~src)
 
 let eccentricities g =
-  Array.init (Wgraph.n g) (fun src -> Dijkstra.eccentricity g ~src)
+  Util.Domain_pool.run (Wgraph.n g) (fun src -> Dijkstra.eccentricity g ~src)
 
 let weighted_diameter g =
   let n = Wgraph.n g in
@@ -21,12 +27,29 @@ let peripheral_pair g =
   let n = Wgraph.n g in
   if n <= 1 then (0, 0)
   else begin
+    (* Per-source scans are independent; the strict-> merge below picks
+       the first (lowest-u, then lowest-v) maximizing pair, exactly as
+       the serial double loop did. *)
+    let per_source =
+      Util.Domain_pool.run n (fun u ->
+          let dist = Dijkstra.distances g ~src:u in
+          let best_v = ref 0 and best_d = ref (-1) in
+          Array.iteri
+            (fun v d ->
+              if Dist.is_finite d && d > !best_d then begin
+                best_d := d;
+                best_v := v
+              end)
+            dist;
+          (!best_d, !best_v))
+    in
     let best = ref (0, 0) and best_d = ref (-1) in
-    for u = 0 to n - 1 do
-      let dist = Dijkstra.distances g ~src:u in
-      Array.iteri
-        (fun v d -> if Dist.is_finite d && d > !best_d then begin best_d := d; best := (u, v) end)
-        dist
-    done;
+    Array.iteri
+      (fun u (d, v) ->
+        if d > !best_d then begin
+          best_d := d;
+          best := (u, v)
+        end)
+      per_source;
     !best
   end

@@ -1,9 +1,19 @@
 type edge = { u : int; v : int; w : int }
 
+type csr = {
+  row_start : int array;
+  csr_dst : int array;
+  csr_w : int array;
+}
+
 type t = {
   n : int;
+  m : int;
   adj : (int * int) array array;
   edge_list : edge list; (* normalized: u < v, deduplicated, sorted *)
+  edge_arr : edge array; (* same edges, same order *)
+  rep : csr;
+  max_w : int;
 }
 
 let normalize_edge { u; v; w } = if u <= v then { u; v; w } else { u = v; v = u; w }
@@ -28,38 +38,70 @@ let make ~n raw =
     raw;
   let edge_list =
     Hashtbl.fold (fun (u, v) w acc -> { u; v; w } :: acc) tbl []
-    |> List.sort (fun a b -> compare (a.u, a.v) (b.u, b.v))
+    |> List.sort (fun a b ->
+           if a.u <> b.u then Int.compare a.u b.u else Int.compare a.v b.v)
   in
+  let edge_arr = Array.of_list edge_list in
+  let m = Array.length edge_arr in
   let deg = Array.make (max 1 n) 0 in
-  List.iter
+  Array.iter
     (fun { u; v; _ } ->
       deg.(u) <- deg.(u) + 1;
       deg.(v) <- deg.(v) + 1)
-    edge_list;
+    edge_arr;
   let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0)) in
+  let row_start = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    row_start.(u + 1) <- row_start.(u) + deg.(u)
+  done;
+  let csr_dst = Array.make row_start.(n) 0 in
+  let csr_w = Array.make row_start.(n) 0 in
   let fill = Array.make (max 1 n) 0 in
-  List.iter
+  (* Filling in sorted edge-list order leaves every adjacency row (and
+     so every CSR row) sorted by neighbor id: for node x the edges
+     {y, x} with y < x come first (ascending y), then {x, z} with
+     z > x (ascending z). [weight] binary-searches on this. *)
+  let add u v w =
+    let i = fill.(u) in
+    adj.(u).(i) <- (v, w);
+    csr_dst.(row_start.(u) + i) <- v;
+    csr_w.(row_start.(u) + i) <- w;
+    fill.(u) <- i + 1
+  in
+  Array.iter
     (fun { u; v; w } ->
-      adj.(u).(fill.(u)) <- (v, w);
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- (u, w);
-      fill.(v) <- fill.(v) + 1)
-    edge_list;
-  { n; adj; edge_list }
+      add u v w;
+      add v u w)
+    edge_arr;
+  let max_w = Array.fold_left (fun acc e -> max acc e.w) 1 edge_arr in
+  { n; m; adj; edge_list; edge_arr; rep = { row_start; csr_dst; csr_w }; max_w }
 
 let n g = g.n
-let m g = List.length g.edge_list
+let m g = g.m
 let edges g = g.edge_list
+let edge_array g = g.edge_arr
+let csr g = g.rep
 let neighbors g u = g.adj.(u)
 let degree g u = Array.length g.adj.(u)
 
-let weight g u v =
-  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Wgraph.weight";
-  let found = ref None in
-  Array.iter (fun (x, w) -> if x = v then found := Some w) g.adj.(u);
+(* Index of [v] in [u]'s sorted CSR row, or -1. *)
+let find_arc g u v =
+  let { row_start; csr_dst; _ } = g.rep in
+  let lo = ref row_start.(u) and hi = ref (row_start.(u + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = csr_dst.(mid) in
+    if x = v then found := mid else if x < v then lo := mid + 1 else hi := mid - 1
+  done;
   !found
 
-let max_weight g = List.fold_left (fun acc e -> max acc e.w) 1 g.edge_list
+let weight g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then invalid_arg "Wgraph.weight";
+  let i = find_arc g u v in
+  if i < 0 then None else Some g.rep.csr_w.(i)
+
+let max_weight g = g.max_w
 
 let is_connected g =
   if g.n <= 1 then true

@@ -19,18 +19,40 @@ val n : t -> int
 (** Number of nodes. *)
 
 val m : t -> int
-(** Number of (undirected) edges after de-duplication. *)
+(** Number of (undirected) edges after de-duplication (cached at
+    construction). *)
 
 val edges : t -> edge list
 (** Each undirected edge once, with [u < v]. *)
 
+val edge_array : t -> edge array
+(** The same edges in the same order as {!edges}, as the array built
+    at construction — the allocation-free form for hot loops; do not
+    mutate. *)
+
+type csr = {
+  row_start : int array;  (** Length [n + 1]; node [u]'s arcs occupy
+                              [row_start.(u) .. row_start.(u+1) - 1]. *)
+  csr_dst : int array;  (** Arc targets, sorted within each row. *)
+  csr_w : int array;  (** Arc weights, parallel to [csr_dst]. *)
+}
+(** Compressed-sparse-row view of the directed arcs (each undirected
+    edge appears in both endpoint rows). Flat unboxed [int] arrays —
+    the engine's per-arc bandwidth ledger and Dijkstra's relaxation
+    loop both index this directly. *)
+
+val csr : t -> csr
+(** Built once at construction; do not mutate. *)
+
 val neighbors : t -> int -> (int * int) array
-(** [(neighbor, weight)] pairs; do not mutate. *)
+(** [(neighbor, weight)] pairs, sorted by neighbor id; do not
+    mutate. *)
 
 val degree : t -> int -> int
 
 val weight : t -> int -> int -> int option
-(** Weight of the edge between two nodes, if present. *)
+(** Weight of the edge between two nodes, if present. Binary search
+    over the sorted adjacency row: O(log deg). *)
 
 val max_weight : t -> int
 (** [W = max_e w(e)]; 1 for edgeless graphs. *)

@@ -1,0 +1,40 @@
+(** Chunked fan-out over OCaml 5 [Domain] workers.
+
+    [run n f] evaluates [f 0 .. f (n-1)] across at most [jobs] domains
+    and returns the results indexed exactly as [Array.init n f] would —
+    work is split into contiguous chunks, one per worker, and chunks
+    are joined in index order, so the output is *deterministic and
+    independent of [jobs]* as long as [f] is a pure function of its
+    index (the determinism contract; a QCheck test pins jobs=1 ≡
+    jobs=N for the APSP sweeps).
+
+    The job count resolves as: the [?jobs] argument if given, else the
+    [QCONGEST_JOBS] environment variable, else {!set_default_jobs}
+    (the CLI's [--jobs]), else [Domain.recommended_domain_count ()].
+    With one job the work runs inline on the calling domain — no
+    domain is ever spawned, so [jobs = 1] is always a safe fallback.
+    Callers must not nest pool calls inside a worker's [f]. *)
+
+val env_var : string
+(** ["QCONGEST_JOBS"]. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide default used when neither [?jobs] nor the environment
+    variable is set (wired to [--jobs] flags). Raises on [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** The resolved default job count (always [>= 1]). Raises
+    [Invalid_argument] if [QCONGEST_JOBS] is set but not a positive
+    integer. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] (same chunking and merge order). *)
+
+val init_list : ?jobs:int -> int -> (int -> 'a) -> 'a list
+(** [List.init] counterpart of {!run}. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map] counterpart of {!map}. *)

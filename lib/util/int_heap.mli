@@ -1,0 +1,33 @@
+(** Flat binary min-heap of native [int]s.
+
+    Backing store is a single unboxed [int array]; comparisons are
+    direct machine comparisons (no closure, no polymorphic [compare]).
+    Duplicates are allowed — the engine's event calendar pushes a round
+    whenever a bucket is created and discards stale entries lazily on
+    the way out. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty heap; [capacity] (default 16) is the initial backing size. *)
+
+val is_empty : t -> bool
+val size : t -> int
+
+val clear : t -> unit
+(** Drop every element, keeping the backing store. *)
+
+val push : t -> int -> unit
+
+val peek : t -> int option
+(** Smallest element without removing it. *)
+
+val peek_exn : t -> int
+(** Raises [Invalid_argument] on an empty heap. *)
+
+val pop : t -> int option
+(** Remove and return the smallest element. *)
+
+val pop_exn : t -> int
+(** Allocation-free [pop]. Raises [Invalid_argument] on an empty
+    heap. *)

@@ -609,6 +609,88 @@ let prop_gather_broadcast_complete =
       let collected, _ = Tree.gather_broadcast g tree ~items ~compare ~size_words:(fun _ -> 1) in
       collected = List.sort_uniq compare raw)
 
+(* ------------------------- Golden equivalence ---------------------- *)
+
+(* The optimized Engine.run must be observationally indistinguishable
+   from the seed loop kept in Engine_reference: same final states, same
+   trace, same event stream (and hence the same Replay reconstruction),
+   under every adversary class. *)
+
+(* A protocol that exercises every engine feature at once: flooding
+   over all neighbors (inbox merging, multi-edge rounds), duplicate and
+   far wakes (calendar fast-forward), and deliberate same-edge double
+   sends with mixed message sizes (bandwidth ledger, violations,
+   strict-mode drops). *)
+type exer = { level : int; hits : int }
+
+let exerciser_protocol : (exer, int) Engine.protocol =
+  {
+    name = "exerciser";
+    size_words = (fun m -> 1 + (abs m mod 2));
+    init =
+      (fun view ->
+        let nbrs = Array.to_list (Array.map fst view.Node_view.neighbors) in
+        if view.Node_view.id = 0 then
+          ( { level = 0; hits = 0 },
+            Engine.act ~sends:(List.map (fun v -> (v, 1)) nbrs) ~wakes:[ 3 ] () )
+        else ({ level = -1; hits = 0 }, Engine.no_action));
+    on_round =
+      (fun view ~round s ~inbox ->
+        let s = { s with hits = s.hits + List.length inbox } in
+        let best = List.fold_left (fun acc { Engine.msg; _ } -> min acc msg) max_int inbox in
+        if s.level < 0 && best < max_int then
+          (* First contact: adopt a level, flood it, schedule echoes
+             (one duplicated — the engine dedups same-round wakes). *)
+          let nbrs = Array.to_list (Array.map fst view.Node_view.neighbors) in
+          ( { s with level = best },
+            Engine.act
+              ~sends:(List.map (fun v -> (v, best + 1)) nbrs)
+              ~wakes:[ round + 2; round + 2; round + 5 ] () )
+        else if inbox = [] && Array.length view.Node_view.neighbors > 0 && s.hits < 6 then
+          (* Pure wake-up: hammer one edge twice in the same round to
+             exercise the per-edge-round ledger and strict mode. *)
+          let v = fst view.Node_view.neighbors.(0) in
+          (s, Engine.send [ (v, round); (v, round + 1) ])
+        else (s, Engine.no_action));
+  }
+
+let adversary_classes seed =
+  [
+    ("fault-free", None);
+    ("drop", Some (Fault.make ~seed:(seed + 1) ~drop:0.2 ()));
+    ("delay+dup", Some (Fault.make ~seed:(seed + 2) ~delay:3 ~duplicate:0.15 ()));
+    ("strict-bw", Some (Fault.make ~seed:(seed + 3) ~strict_bandwidth:true ()));
+    ("crash", Some (Fault.make ~seed:(seed + 4) ~drop:0.1 ~crashes:[ (1, 4); (2, 9) ] ()));
+  ]
+
+let engines_agree ?faults g proto =
+  let sink1, drain1 = Telemetry.Events.collector () in
+  let states1, trace1 = Engine.run ?faults ~sink:sink1 g proto in
+  let sink2, drain2 = Telemetry.Events.collector () in
+  let states2, trace2 = Engine_reference.run ?faults ~sink:sink2 g proto in
+  let events1 = drain1 () and events2 = drain2 () in
+  states1 = states2 && trace1 = trace2 && events1 = events2
+  && Replay.trace_of_events events1 = trace1
+
+let test_engine_equals_reference_pinned () =
+  (* Deterministic spot check on a path (linear relay) so a regression
+     fails loudly before the property shrinks a counterexample. *)
+  let g = unit_path 8 in
+  List.iter
+    (fun (label, faults) ->
+      checkb ("relay " ^ label) true (engines_agree ?faults g relay_protocol);
+      checkb ("exerciser " ^ label) true (engines_agree ?faults g exerciser_protocol))
+    (adversary_classes 77)
+
+let prop_engine_equals_reference =
+  QCheck.Test.make ~name:"optimized engine = reference (states, trace, events)" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      List.for_all
+        (fun (_, faults) -> engines_agree ?faults g exerciser_protocol)
+        (adversary_classes seed))
+
 (* ------------------------------ Runner ----------------------------- *)
 
 let test_runner () =
@@ -662,7 +744,12 @@ let test_runner_pp_and_json () =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_tree_is_bfs; prop_children_match_parents; prop_gather_broadcast_complete ]
+    [
+      prop_tree_is_bfs;
+      prop_children_match_parents;
+      prop_gather_broadcast_complete;
+      prop_engine_equals_reference;
+    ]
 
 let () =
   Alcotest.run "congest"
@@ -717,6 +804,11 @@ let () =
           Alcotest.test_case "convergecast max" `Quick test_convergecast_max;
           Alcotest.test_case "broadcast pipelining" `Quick test_broadcast_pipelining;
           Alcotest.test_case "upcast" `Quick test_upcast;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "engine = reference on pinned scenarios" `Quick
+            test_engine_equals_reference_pinned;
         ] );
       ( "runner",
         [

@@ -403,6 +403,78 @@ let prop_lemma_4_3 =
       let g = random_graph ~max_w:5 seed in
       Contraction.check_lemma_4_3 g)
 
+(* ------------------------ CSR / representation --------------------- *)
+
+let test_wgraph_csr_structure () =
+  let g = random_graph 42 in
+  let n = Wgraph.n g in
+  let { Wgraph.row_start; csr_dst; csr_w } = Wgraph.csr g in
+  check "row_start length" (n + 1) (Array.length row_start);
+  check "arcs = 2m" (2 * Wgraph.m g) row_start.(n);
+  check "dst length" row_start.(n) (Array.length csr_dst);
+  check "w length" row_start.(n) (Array.length csr_w);
+  for u = 0 to n - 1 do
+    checkb "rows monotone" true (row_start.(u) <= row_start.(u + 1));
+    let nbrs = Wgraph.neighbors g u in
+    check "row = degree" (Array.length nbrs) (row_start.(u + 1) - row_start.(u));
+    Array.iteri
+      (fun i (v, w) ->
+        let a = row_start.(u) + i in
+        check "csr dst = neighbors" v csr_dst.(a);
+        check "csr w = neighbors" w csr_w.(a);
+        if i > 0 then checkb "row sorted" true (csr_dst.(a - 1) < csr_dst.(a)))
+      nbrs
+  done
+
+let test_wgraph_edge_array () =
+  let g = random_graph 43 in
+  Alcotest.(check int) "edge_array mirrors edges" 0
+    (if Array.to_list (Wgraph.edge_array g) = Wgraph.edges g then 0 else 1);
+  List.iter
+    (fun { Wgraph.u; v; w = _ } -> checkb "u < v" true (u < v))
+    (Wgraph.edges g)
+
+let prop_weight_lookup_matches_scan =
+  (* The binary-search [weight] must agree with a naive scan of the
+     adjacency row on every pair, present or absent. *)
+  QCheck.Test.make ~name:"Wgraph.weight = linear scan on all pairs" ~count:60
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Wgraph.n g in
+      let scan u v =
+        Array.fold_left
+          (fun acc (x, w) -> if x = v then Some w else acc)
+          None (Wgraph.neighbors g u)
+      in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Wgraph.weight g u v <> scan u v then ok := false
+        done
+      done;
+      (* Out-of-range endpoints still raise, as they always have. *)
+      let raises u v =
+        match Wgraph.weight g u v with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      in
+      !ok && raises 0 n && raises (-1) 0)
+
+let prop_apsp_jobs_invariant =
+  (* Domain-parallel APSP returns exactly the serial sweep at any job
+     count (merge order is deterministic). *)
+  QCheck.Test.make ~name:"Apsp ignores QCONGEST job count" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph seed in
+      let n = Wgraph.n g in
+      let serial = Array.init n (fun src -> Dijkstra.distances g ~src) in
+      let ecc_serial = Array.init n (fun src -> Dijkstra.eccentricity g ~src) in
+      Apsp.all_distances g = serial
+      && Apsp.eccentricities g = ecc_serial
+      && Util.Domain_pool.run ~jobs:3 n (fun src -> Dijkstra.eccentricity g ~src) = ecc_serial)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -416,6 +488,8 @@ let qsuite =
       prop_reweight_sandwich;
       prop_skeleton_good_approx;
       prop_lemma_4_3;
+      prop_weight_lookup_matches_scan;
+      prop_apsp_jobs_invariant;
     ]
 
 let () =
@@ -428,6 +502,8 @@ let () =
           Alcotest.test_case "parallel edges" `Quick test_wgraph_parallel_edges;
           Alcotest.test_case "errors" `Quick test_wgraph_errors;
           Alcotest.test_case "induced" `Quick test_wgraph_induced;
+          Alcotest.test_case "csr structure" `Quick test_wgraph_csr_structure;
+          Alcotest.test_case "edge array" `Quick test_wgraph_edge_array;
           Alcotest.test_case "unit weights" `Quick test_unit_weights;
         ] );
       ( "generators",

@@ -174,6 +174,127 @@ let prop_pqueue_insert_or_decrease =
         (fun k p acc -> acc && Util.Pqueue.priority q k = Some p)
         best true)
 
+(* --------------------- Int_heap / Int_pq --------------------------- *)
+
+let test_int_heap_basic () =
+  let h = Util.Int_heap.create () in
+  checkb "empty" true (Util.Int_heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Util.Int_heap.peek h);
+  List.iter (Util.Int_heap.push h) [ 5; 1; 4; 1; 3 ];
+  check "size" 5 (Util.Int_heap.size h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Util.Int_heap.peek h);
+  check "peek_exn" 1 (Util.Int_heap.peek_exn h);
+  let rec drain acc =
+    match Util.Int_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  (* Duplicates survive: the calendar relies on lazy deletion. *)
+  Alcotest.(check (list int)) "sorted with dups" [ 1; 1; 3; 4; 5 ] (drain []);
+  Util.Int_heap.push h 9;
+  Util.Int_heap.clear h;
+  checkb "cleared" true (Util.Int_heap.is_empty h)
+
+let prop_int_heap_heapsort =
+  QCheck.Test.make ~name:"Int_heap drains in sorted order" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 60) (int_range (-1000) 1000))
+    (fun xs ->
+      let h = Util.Int_heap.create ~capacity:1 () in
+      List.iter (Util.Int_heap.push h) xs;
+      let rec drain acc =
+        match Util.Int_heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+let test_int_pq_basic () =
+  let q = Util.Int_pq.create ~n:10 in
+  checkb "empty" true (Util.Int_pq.is_empty q);
+  Util.Int_pq.insert q ~key:3 ~prio:30;
+  Util.Int_pq.insert q ~key:1 ~prio:10;
+  Util.Int_pq.insert q ~key:2 ~prio:20;
+  check "size" 3 (Util.Int_pq.size q);
+  checkb "mem" true (Util.Int_pq.mem q 1);
+  (match Util.Int_pq.pop_min q with
+  | Some (k, p) ->
+    check "min key" 1 k;
+    check "min prio" 10 p
+  | None -> Alcotest.fail "empty");
+  Util.Int_pq.decrease q ~key:3 ~prio:5;
+  (match Util.Int_pq.pop_min q with
+  | Some (k, _) -> check "after decrease" 3 k
+  | None -> Alcotest.fail "empty");
+  checkb "mem gone" false (Util.Int_pq.mem q 3)
+
+let test_int_pq_errors () =
+  let q = Util.Int_pq.create ~n:4 in
+  Util.Int_pq.insert q ~key:0 ~prio:1;
+  Alcotest.check_raises "dup" (Invalid_argument "Int_pq.insert: key present") (fun () ->
+      Util.Int_pq.insert q ~key:0 ~prio:2);
+  Alcotest.check_raises "absent" (Invalid_argument "Int_pq.decrease: key absent") (fun () ->
+      Util.Int_pq.decrease q ~key:3 ~prio:0);
+  Alcotest.check_raises "bigger" (Invalid_argument "Int_pq.decrease: larger priority")
+    (fun () -> Util.Int_pq.decrease q ~key:0 ~prio:99)
+
+let prop_int_pq_matches_pqueue =
+  (* The int-specialized heap is a drop-in for the closure-compare one:
+     identical pop_min sequence under the same insert_or_decrease
+     stream. *)
+  QCheck.Test.make ~name:"Int_pq = Pqueue on random workloads" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 60) (pair (int_range 0 9) (int_range 0 1000)))
+    (fun ops ->
+      let qi = Util.Int_pq.create ~n:10 in
+      let qp = Util.Pqueue.create ~n:10 ~compare in
+      let step acc (k, p) =
+        Util.Int_pq.insert_or_decrease qi ~key:k ~prio:p;
+        Util.Pqueue.insert_or_decrease qp ~key:k ~prio:p;
+        acc && Util.Int_pq.priority qi k = Util.Pqueue.priority qp k
+      in
+      let ok = List.fold_left step true ops in
+      let rec drain acc =
+        match (Util.Int_pq.pop_min qi, Util.Pqueue.pop_min qp) with
+        | None, None -> acc
+        | Some (_, pi), Some (_, pp) -> drain (acc && pi = pp)
+        | _ -> false
+      in
+      ok && drain true)
+
+(* --------------------------- Domain_pool --------------------------- *)
+
+let test_domain_pool_inline () =
+  let calls = ref [] in
+  let out = Util.Domain_pool.run ~jobs:1 5 (fun i -> calls := i :: !calls; i * i) in
+  Alcotest.(check (array int)) "inline run" [| 0; 1; 4; 9; 16 |] out;
+  Alcotest.(check (list int)) "inline order" [ 0; 1; 2; 3; 4 ] (List.rev !calls);
+  Alcotest.(check (array int)) "empty" [||] (Util.Domain_pool.run ~jobs:4 0 (fun i -> i))
+
+let test_domain_pool_jobs_invariant () =
+  (* The determinism contract: results are indexed like Array.init
+     regardless of the worker count. *)
+  let f i = (i * 17) mod 101 in
+  let serial = Array.init 37 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        serial
+        (Util.Domain_pool.run ~jobs 37 f))
+    [ 1; 2; 3; 4; 8; 64 ];
+  Alcotest.(check (list int)) "map_list" [ 2; 4; 6 ]
+    (Util.Domain_pool.map_list ~jobs:3 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check (array int)) "map" [| 1; 4; 9 |]
+    (Util.Domain_pool.map ~jobs:2 (fun x -> x * x) [| 1; 2; 3 |])
+
+let prop_domain_pool_matches_serial =
+  QCheck.Test.make ~name:"Domain_pool.run = Array.init at any job count" ~count:50
+    QCheck.(pair (int_range 0 200) (int_range 1 8))
+    (fun (n, jobs) ->
+      Util.Domain_pool.run ~jobs n (fun i -> (i * 31) lxor n) = Array.init n (fun i -> (i * 31) lxor n))
+
+let test_domain_pool_default_jobs () =
+  checkb "default >= 1" true (Util.Domain_pool.default_jobs () >= 1);
+  Alcotest.(check string) "env var name" "QCONGEST_JOBS" Util.Domain_pool.env_var;
+  Alcotest.check_raises "set_default_jobs rejects 0"
+    (Invalid_argument "Domain_pool.set_default_jobs: jobs < 1") (fun () ->
+      Util.Domain_pool.set_default_jobs 0)
+
 (* ----------------------------- Stats ------------------------------ *)
 
 let test_stats_basic () =
@@ -314,6 +435,7 @@ let test_table_cells () =
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
     [ prop_ilog2; prop_isqrt; prop_pqueue_heapsort; prop_pqueue_insert_or_decrease;
+      prop_int_heap_heapsort; prop_int_pq_matches_pqueue; prop_domain_pool_matches_serial;
       prop_bitset_roundtrip; prop_minimax_monotone_in_degree ]
 
 let () =
@@ -340,6 +462,19 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_pqueue_basic;
           Alcotest.test_case "errors" `Quick test_pqueue_errors;
+        ] );
+      ( "int_heap",
+        [ Alcotest.test_case "basic" `Quick test_int_heap_basic ] );
+      ( "int_pq",
+        [
+          Alcotest.test_case "basic" `Quick test_int_pq_basic;
+          Alcotest.test_case "errors" `Quick test_int_pq_errors;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "inline" `Quick test_domain_pool_inline;
+          Alcotest.test_case "jobs invariant" `Quick test_domain_pool_jobs_invariant;
+          Alcotest.test_case "default jobs" `Quick test_domain_pool_default_jobs;
         ] );
       ( "stats",
         [
