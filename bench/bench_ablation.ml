@@ -27,19 +27,24 @@ let knn_tradeoff () =
           ("overlay hop budget 4b/k", Util.Table.Right);
         ]
   in
-  List.iter
-    (fun k ->
-      let ctx = { Nanongkai.Approx.g; tree; params; k; rng = Util.Rng.split rng } in
-      let emb = Nanongkai.Approx.initialize ctx ~s in
-      let ev = Nanongkai.Approx.eval_source emb ~s_idx:0 in
-      let b = Array.length emb.Nanongkai.Approx.s_nodes in
-      let t0 = emb.Nanongkai.Approx.init_rounds in
-      let t1 = ev.Nanongkai.Approx.setup_trace.Congest.Engine.rounds in
-      let t2 = ev.Nanongkai.Approx.eval_trace.Congest.Engine.rounds in
-      let total =
-        float_of_int t0 +. (sqrt (float_of_int b) *. float_of_int (t1 + t2))
-      in
-      Util.Table.add_row t
+  (* Each k gets its own seeded stream (instead of splitting one shared
+     rng in loop order) so the per-k embeddings are independent pure
+     functions — the precondition for fanning them across domains. *)
+  let rows =
+    Util.Domain_pool.map_list
+      (fun k ->
+        let ctx =
+          { Nanongkai.Approx.g; tree; params; k; rng = Bench_common.rng (40 + k) }
+        in
+        let emb = Nanongkai.Approx.initialize ctx ~s in
+        let ev = Nanongkai.Approx.eval_source emb ~s_idx:0 in
+        let b = Array.length emb.Nanongkai.Approx.s_nodes in
+        let t0 = emb.Nanongkai.Approx.init_rounds in
+        let t1 = ev.Nanongkai.Approx.setup_trace.Congest.Engine.rounds in
+        let t2 = ev.Nanongkai.Approx.eval_trace.Congest.Engine.rounds in
+        let total =
+          float_of_int t0 +. (sqrt (float_of_int b) *. float_of_int (t1 + t2))
+        in
         [
           string_of_int k;
           string_of_int t0;
@@ -48,7 +53,9 @@ let knn_tradeoff () =
           Bench_common.fmt_large total;
           string_of_int (Util.Int_math.ceil_div (4 * b) k);
         ])
-    [ 1; 2; 4; 8 ];
+      [ 1; 2; 4; 8 ]
+  in
+  List.iter (Util.Table.add_row t) rows;
   Util.Table.print t;
   Bench_common.note
     "Larger k: alg4 broadcasts more shortcut edges (T0 up) but the overlay hop";
@@ -133,15 +140,16 @@ let random_delays () =
           ("violations @ lambda (random)", Util.Table.Right);
         ]
   in
-  List.iter
-    (fun b ->
-      let sources = Array.init b (fun i -> i + 1) in
-      let rng = Bench_common.rng (b * 5) in
-      let zero =
-        Nanongkai.Alg3.run ~delays_override:(Array.make b 0) g ~tree ~sources ~params ~rng
-      in
-      let rnd = Nanongkai.Alg3.run g ~tree ~sources ~params ~rng in
-      Util.Table.add_row t
+  (* Already seeded per b — safe to fan the four source counts out. *)
+  let rows =
+    Util.Domain_pool.map_list
+      (fun b ->
+        let sources = Array.init b (fun i -> i + 1) in
+        let rng = Bench_common.rng (b * 5) in
+        let zero =
+          Nanongkai.Alg3.run ~delays_override:(Array.make b 0) g ~tree ~sources ~params ~rng
+        in
+        let rnd = Nanongkai.Alg3.run g ~tree ~sources ~params ~rng in
         [
           string_of_int b;
           string_of_int rnd.Nanongkai.Alg3.stretch;
@@ -150,7 +158,9 @@ let random_delays () =
           string_of_int zero.Nanongkai.Alg3.concurrent_trace.Congest.Engine.congestion_violations;
           string_of_int rnd.Nanongkai.Alg3.concurrent_trace.Congest.Engine.congestion_violations;
         ])
-    [ 4; 8; 16; 32 ];
+      [ 4; 8; 16; 32 ]
+  in
+  List.iter (Util.Table.add_row t) rows;
   Util.Table.print t;
   Bench_common.note
     "Zero delays synchronize every instance's per-scale broadcasts onto the same";

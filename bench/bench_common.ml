@@ -52,18 +52,16 @@ let artifact_dir () = Telemetry.Export.artifacts_dir ()
    bench_artifacts/, so downstream tooling can parse runs without
    scraping the console tables. *)
 let write_trace_json ~name trace =
-  let path = Filename.concat (artifact_dir ()) (name ^ ".trace.json") in
-  let oc = open_out path in
-  output_string oc (Congest.Engine.trace_to_json trace);
-  output_char oc '\n';
-  close_out oc;
+  let path =
+    Telemetry.Export.write_artifact ~name:(name ^ ".trace.json")
+      (Congest.Engine.trace_to_json trace)
+  in
   note "wrote %s" path
 
 (* Same for a multi-phase runner record. *)
 let write_runner_json ~name runner =
-  let path = Filename.concat (artifact_dir ()) (name ^ ".phases.json") in
-  let oc = open_out path in
-  output_string oc (Congest.Runner.to_json runner);
-  output_char oc '\n';
-  close_out oc;
+  let path =
+    Telemetry.Export.write_artifact ~name:(name ^ ".phases.json")
+      (Congest.Runner.to_json runner)
+  in
   note "wrote %s" path

@@ -18,12 +18,19 @@ let lb_scaling () =
           ("n^{2/3}/log^2 n", Util.Table.Right);
         ]
   in
+  (* The per-h bounds are independent (h <= 4 runs real protocols on
+     the gadget); fan them out and keep the table/fit order. *)
+  let bounds =
+    Util.Domain_pool.map_list
+      (fun h ->
+        ( h,
+          if h <= 4 then Lowerbound.Theorem.bound_measured ~h
+          else Lowerbound.Theorem.bound_for ~h ))
+      [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+  in
   let points = ref [] in
   List.iter
-    (fun h ->
-      let b =
-        if h <= 4 then Lowerbound.Theorem.bound_measured ~h else Lowerbound.Theorem.bound_for ~h
-      in
+    (fun (h, b) ->
       if h >= 8 then
         points := (float_of_int b.Lowerbound.Theorem.n, b.Lowerbound.Theorem.t_lower) :: !points;
       Util.Table.add_row t
@@ -36,7 +43,7 @@ let lb_scaling () =
           Bench_common.fmt_large b.Lowerbound.Theorem.n_two_thirds;
           Bench_common.fmt_large b.Lowerbound.Theorem.n_two_thirds_over_log2;
         ])
-    [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ];
+    bounds;
   Util.Table.print t;
   let slope, r2 = Bench_common.fit_exponent (List.rev !points) in
   Bench_common.note
@@ -46,7 +53,7 @@ let lb_scaling () =
      Fit the asymptotic tail — at small h the Θ(h·2^h) path nodes still
      dominate n over the 2^{3h/2} cliques. *)
   let qpts =
-    List.map
+    Util.Domain_pool.map_list
       (fun h ->
         let b = Lowerbound.Theorem.bound_for ~h in
         (float_of_int b.Lowerbound.Theorem.n, b.Lowerbound.Theorem.q_sv))
@@ -64,7 +71,10 @@ let server_sim () =
         [ "h"; "protocol"; "rounds T"; "chargeable msgs"; "2hT bound"; "per-round max";
           "<= 2h"; "schedule valid" ]
   in
-  List.iter
+  (* One gadget + two protocol runs per h, all independent: compute the
+     row data across domains, append rows in h order afterwards. *)
+  let row_groups =
+    Util.Domain_pool.map_list
     (fun h ->
       let p = Lowerbound.Gadget.params_of_h ~h in
       let s2 = Util.Int_math.pow 2 p.Lowerbound.Gadget.s in
@@ -151,22 +161,23 @@ let server_sim () =
               trace.Congest.Engine.rounds );
         ]
       in
-      List.iter
+      List.map
         (fun (name, run) ->
           let count = Lowerbound.Server_model.count_protocol gd ~run in
-          Util.Table.add_row t
-            [
-              string_of_int h;
-              name;
-              string_of_int count.Lowerbound.Server_model.protocol_rounds;
-              string_of_int count.Lowerbound.Server_model.chargeable_messages;
-              string_of_int (2 * h * count.Lowerbound.Server_model.protocol_rounds);
-              string_of_int count.Lowerbound.Server_model.per_round_max;
-              Util.Table.cell_bool count.Lowerbound.Server_model.bound_2h_per_round;
-              Util.Table.cell_bool validity.Lowerbound.Server_model.valid;
-            ])
+          [
+            string_of_int h;
+            name;
+            string_of_int count.Lowerbound.Server_model.protocol_rounds;
+            string_of_int count.Lowerbound.Server_model.chargeable_messages;
+            string_of_int (2 * h * count.Lowerbound.Server_model.protocol_rounds);
+            string_of_int count.Lowerbound.Server_model.per_round_max;
+            Util.Table.cell_bool count.Lowerbound.Server_model.bound_2h_per_round;
+            Util.Table.cell_bool validity.Lowerbound.Server_model.valid;
+          ])
         protocols)
-    [ 2; 4; 6 ];
+    [ 2; 4; 6 ]
+  in
+  List.iter (List.iter (Util.Table.add_row t)) row_groups;
   Util.Table.print t;
   Bench_common.note
     "Every round's Alice/Bob -> server traffic stays within 2h messages, so any";
@@ -190,14 +201,18 @@ let degree_table () =
           ("1/3-represents OR", Util.Table.Left);
         ]
   in
-  List.iter
-    (fun k ->
-      let p = Lowerbound.Approx_degree.or_approx ~n:k in
-      let exact =
-        if k <= 64 then string_of_int (Lowerbound.Approx_degree.exact_deg_or ~k ~eps:(1.0 /. 3.0))
-        else "-"
-      in
-      Util.Table.add_row t
+  (* The k = 64 LP solve dominates this section; run the per-k columns
+     (Chebyshev degree, LP exact degree, validity check) across domains. *)
+  let ks = [ 4; 16; 64; 256; 1024; 4096 ] in
+  let rows =
+    Util.Domain_pool.map_list
+      (fun k ->
+        let p = Lowerbound.Approx_degree.or_approx ~n:k in
+        let exact =
+          if k <= 64 then
+            string_of_int (Lowerbound.Approx_degree.exact_deg_or ~k ~eps:(1.0 /. 3.0))
+          else "-"
+        in
         [
           string_of_int k;
           string_of_int p.Lowerbound.Approx_degree.degree;
@@ -205,7 +220,9 @@ let degree_table () =
           Printf.sprintf "%.1f" (sqrt (float_of_int k));
           Util.Table.cell_bool (Lowerbound.Approx_degree.or_approx_is_valid ~n:k);
         ])
-    [ 4; 16; 64; 256; 1024; 4096 ];
+      ks
+  in
+  List.iter (Util.Table.add_row t) rows;
   Util.Table.print t;
   Bench_common.note
     "EXACT column: the LP-computed minimum degree of any polynomial within 1/3 of";
@@ -219,7 +236,7 @@ let degree_table () =
       (fun k ->
         ( float_of_int k,
           float_of_int (Lowerbound.Approx_degree.or_approx ~n:k).Lowerbound.Approx_degree.degree ))
-      [ 4; 16; 64; 256; 1024; 4096 ]
+      ks
   in
   let slope, r2 = Bench_common.fit_exponent pts in
   Bench_common.note "log-log slope of degree vs k: %.3f (r^2 = %.3f; Lemma 4.6: 1/2)" slope r2

@@ -187,10 +187,7 @@ let cases_to_json ~jobs ~smoke cases =
   Buffer.contents b
 
 let write_json path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  output_char oc '\n';
-  close_out oc;
+  Telemetry.Export.write_file ~path (contents ^ "\n");
   Bench_common.note "wrote %s" path
 
 let run () =
@@ -240,4 +237,5 @@ let run () =
   Bench_common.note "APSP arm ran with %d domains" jobs;
   let json = cases_to_json ~jobs ~smoke cases in
   write_json "BENCH_engine.json" json;
-  write_json (Filename.concat (Bench_common.artifact_dir ()) "BENCH_engine.json") json
+  Bench_common.note "wrote %s"
+    (Telemetry.Export.write_artifact ~name:"BENCH_engine.json" json)

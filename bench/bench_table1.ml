@@ -34,103 +34,74 @@ let print_formula_table ~n ~d =
     Baselines.Table1.rows;
   Util.Table.print t
 
+(* Table 1 row labels keyed by the harness's series names. *)
+let label_of_algo = function
+  | "classical-diameter" -> "classical exact weighted diameter"
+  | "classical-radius" -> "classical exact weighted radius"
+  | "lm-unweighted" -> "quantum unweighted diameter sqrt(nD) [12]"
+  | "approx-apsp" -> "classical (1+eps)-approx APSP diameter [21]"
+  | "three-halves" -> "classical 3/2-approx unweighted diameter [15,3]"
+  | "sssp-2approx" -> "classical 2-approx weighted diameter (SSSP)"
+  | "thm11-diameter" -> "THIS WORK: quantum weighted diameter (1+o(1))"
+  | "thm11-radius" -> "THIS WORK: quantum weighted radius (1+o(1))"
+  | s -> s
+
 let print_measured () =
   Bench_common.subsection
-    "Measured rounds on one instance (ring of 8 cliques x 8 nodes, weights <= 16)";
-  let g = Bench_common.ring_of_cliques ~cliques:8 ~clique_size:8 ~max_w:16 ~seed:42 in
-  let n = Graphlib.Wgraph.n g in
-  let d = Bench_common.d_unweighted g in
-  let tree, _ = Congest.Tree.build g ~root:0 in
+    "Measured rounds on one instance (harness sweep: ring of 8 cliques, n = 64, weights <= 16)";
+  (* Every implemented Table 1 row as one harness job on a shared
+     instance; the jobs fan out over the domain pool (--jobs /
+     QCONGEST_JOBS) and checkpoint under the artifact dir, so a re-run
+     of the bench resumes instead of recomputing. *)
+  let spec = Harness.Spec.table1_measured in
+  let store =
+    Harness.Store.load
+      ~path:(Filename.concat (Bench_common.artifact_dir ()) "table1_measured.jsonl")
+  in
+  let executed, failures = Harness.Runner.run spec store in
+  if failures > 0 then Bench_common.note "WARNING: %d of %d jobs failed" failures executed;
   let t =
     Util.Table.create
       ~headers:[ "algorithm (row of Table 1)"; "answer"; "exact"; "measured rounds"; "notes" ]
   in
-  (* Classical exact weighted diameter (the n-round row, naive honest
-     protocol). *)
-  let cd = Baselines.All_pairs.diameter g ~tree in
-  Util.Table.add_row t
-    [
-      "classical exact weighted diameter";
-      string_of_int cd.Baselines.All_pairs.value;
-      string_of_int cd.Baselines.All_pairs.value;
-      string_of_int cd.Baselines.All_pairs.rounds;
-      "token-flood APSP";
-    ];
-  let cr = Baselines.All_pairs.radius g ~tree in
-  Util.Table.add_row t
-    [
-      "classical exact weighted radius";
-      string_of_int cr.Baselines.All_pairs.value;
-      string_of_int cr.Baselines.All_pairs.value;
-      string_of_int cr.Baselines.All_pairs.rounds;
-      "token-flood APSP";
-    ];
-  (* Quantum unweighted diameter (Le Gall–Magniez row). *)
-  let lm = Baselines.Legall_magniez.diameter g ~rng:(Bench_common.rng 43) () in
-  Util.Table.add_row t
-    [
-      "quantum unweighted diameter sqrt(nD) [12]";
-      string_of_int lm.Baselines.Legall_magniez.value;
-      string_of_int lm.Baselines.Legall_magniez.exact;
-      string_of_int lm.Baselines.Legall_magniez.rounds;
-      Printf.sprintf "groups=%d x=%d" lm.Baselines.Legall_magniez.groups
-        lm.Baselines.Legall_magniez.group_size;
-    ];
-  (* Classical (1+eps)-approx APSP (Nanongkai'14): the classical
-     comparator for this work's row. *)
-  let aa = Baselines.Approx_apsp.run g ~tree ~rng:(Bench_common.rng 46) in
-  Util.Table.add_row t
-    [
-      "classical (1+eps)-approx APSP diameter [21]";
-      Printf.sprintf "%.0f" aa.Baselines.Approx_apsp.diameter_estimate;
-      string_of_int aa.Baselines.Approx_apsp.exact_diameter;
-      string_of_int aa.Baselines.Approx_apsp.rounds;
-      Printf.sprintf "guarantee=%b congestion_ok=%b" aa.Baselines.Approx_apsp.within_guarantee
-        aa.Baselines.Approx_apsp.congestion_ok;
-    ];
-  (* Classical 3/2-approx of the unweighted diameter ([15]/[3] row). *)
-  let th = Baselines.Three_halves.diameter g ~tree ~rng:(Bench_common.rng 47) in
-  Util.Table.add_row t
-    [
-      "classical 3/2-approx unweighted diameter [15,3]";
-      string_of_int th.Baselines.Three_halves.estimate;
-      string_of_int th.Baselines.Three_halves.exact;
-      string_of_int th.Baselines.Three_halves.rounds;
-      Printf.sprintf "|S|=%d within-3/2=%b" th.Baselines.Three_halves.sample_size
-        th.Baselines.Three_halves.within_three_halves;
-    ];
-  (* SSSP-based 2-approximation (the [8] row, simple-SSSP stand-in). *)
-  let sa = Baselines.Sssp_approx.diameter g ~tree in
-  Util.Table.add_row t
-    [
-      "classical 2-approx weighted diameter (SSSP)";
-      string_of_int sa.Baselines.Sssp_approx.estimate;
-      string_of_int sa.Baselines.Sssp_approx.exact;
-      string_of_int sa.Baselines.Sssp_approx.rounds;
-      Printf.sprintf "double sweep, within-2 = %b" sa.Baselines.Sssp_approx.within_factor_two;
-    ];
-  (* This work: quantum weighted diameter and radius. *)
-  let qd = Core.Algorithm.run g Core.Algorithm.Diameter ~rng:(Bench_common.rng 44) in
-  Util.Table.add_row t
-    [
-      "THIS WORK: quantum weighted diameter (1+o(1))";
-      Printf.sprintf "%.0f" qd.Core.Algorithm.estimate;
-      string_of_int qd.Core.Algorithm.exact;
-      string_of_int qd.Core.Algorithm.rounds;
-      Printf.sprintf "ratio=%.3f guarantee=%b" qd.Core.Algorithm.ratio
-        qd.Core.Algorithm.within_guarantee;
-    ];
-  let qr = Core.Algorithm.run g Core.Algorithm.Radius ~rng:(Bench_common.rng 45) in
-  Util.Table.add_row t
-    [
-      "THIS WORK: quantum weighted radius (1+o(1))";
-      Printf.sprintf "%.0f" qr.Core.Algorithm.estimate;
-      string_of_int qr.Core.Algorithm.exact;
-      string_of_int qr.Core.Algorithm.rounds;
-      Printf.sprintf "ratio=%.3f guarantee=%b" qr.Core.Algorithm.ratio
-        qr.Core.Algorithm.within_guarantee;
-    ];
+  List.iter
+    (fun j ->
+      let name = Harness.Spec.algo_name j.Harness.Spec.algo in
+      match
+        Option.bind (Harness.Store.find store j.Harness.Spec.id) (fun raw ->
+            Result.to_option (Harness.Hjson.parse raw))
+      with
+      | None -> Util.Table.add_row t [ label_of_algo name; "-"; "-"; "-"; "missing row" ]
+      | Some v ->
+        let str f = Option.bind (Harness.Hjson.member f v) Harness.Hjson.to_string_opt in
+        let num f = Option.bind (Harness.Hjson.member f v) Harness.Hjson.to_float_opt in
+        let intf f = Option.bind (Harness.Hjson.member f v) Harness.Hjson.to_int_opt in
+        if str "status" = Some "ok" then
+          let within =
+            Harness.Hjson.member "within" v = Some (Harness.Hjson.Bool true)
+          in
+          Util.Table.add_row t
+            [
+              label_of_algo name;
+              (match num "estimate" with Some e -> Printf.sprintf "%.0f" e | None -> "-");
+              (match intf "exact" with Some e -> string_of_int e | None -> "-");
+              (match intf "rounds" with Some r -> string_of_int r | None -> "-");
+              Printf.sprintf "%s within=%b" (Option.value ~default:"" (str "note")) within;
+            ]
+        else
+          Util.Table.add_row t
+            [ label_of_algo name; "-"; "-"; "-"; "FAILED (see sweep artifact)" ])
+    (Harness.Spec.jobs spec);
   Util.Table.print t;
+  Bench_common.note "wrote %s"
+    (Telemetry.Export.write_artifact ~name:"table1_measured.sweep.json"
+       (Harness.Runner.report spec store));
+  let g =
+    Harness.Runner.make_graph spec ~n:(List.hd spec.Harness.Spec.sizes)
+      ~seed:(List.hd spec.Harness.Spec.seeds)
+  in
+  let n = Graphlib.Wgraph.n g in
+  let d = Bench_common.d_unweighted g in
   Bench_common.note "instance: n=%d D_G=%d" n d;
   Bench_common.note
     "Absolute constants of the asymptotic quantum algorithm are large at n=%d; the" n;

@@ -4,7 +4,21 @@
 
 let scaling () =
   Bench_common.section
-    "THEOREM 1.1 — scaling: measured rounds vs n at (near-)fixed D";
+    "THEOREM 1.1 — scaling: measured rounds vs n at (near-)fixed D (sweep harness)";
+  (* This section is the harness's thm11-scaling sweep: jobs run over
+     the domain pool, every result is checkpointed under the artifact
+     dir (re-running the bench resumes instead of recomputing), and
+     the fit comes from the same Harness.Fit path the CI gate uses. *)
+  let spec = Harness.Spec.thm11_scaling in
+  let store =
+    Harness.Store.load
+      ~path:(Filename.concat (Bench_common.artifact_dir ()) "thm11_scaling.jsonl")
+  in
+  let executed, failures = Harness.Runner.run spec store in
+  Bench_common.note "sweep %s: %d jobs executed (%d resumed from checkpoint), %d failed"
+    spec.Harness.Spec.name executed
+    (Harness.Store.count store - executed)
+    failures;
   let t =
     Util.Table.create_aligned
       ~headers:
@@ -17,31 +31,33 @@ let scaling () =
           ("all within guar.", Util.Table.Left);
         ]
   in
-  let points = ref [] and fpoints = ref [] in
-  let reps = 3 in
+  let row_of_job j =
+    Option.bind (Harness.Store.find store j.Harness.Spec.id) (fun raw ->
+        Result.to_option (Harness.Hjson.parse raw))
+  in
+  let num field v = Option.bind (Harness.Hjson.member field v) Harness.Hjson.to_float_opt in
+  let fpoints = ref [] in
   List.iter
-    (fun clique_size ->
-      let g = Bench_common.ring_of_cliques ~cliques:8 ~clique_size ~max_w:16 ~seed:(clique_size * 7) in
+    (fun n_target ->
+      let cell =
+        List.filter
+          (fun j -> j.Harness.Spec.n = n_target)
+          (Harness.Spec.jobs spec)
+      in
+      let rows = List.filter_map row_of_job cell in
+      let g = Harness.Runner.make_graph spec ~n:n_target ~seed:(List.hd spec.Harness.Spec.seeds) in
       let n = Graphlib.Wgraph.n g in
       let d = Bench_common.d_unweighted g in
-      (* Median over seeds: one stochastic search run has high variance
-         in which sets it touches (and so in the measured eval bound). *)
-      let runs =
-        (* Independent seeded trials: fan out over the domain pool
-           (--jobs / QCONGEST_JOBS), merged in seed order, so the
-           medians below are identical at any job count. *)
-        Util.Domain_pool.init_list reps (fun i ->
-            Core.Algorithm.run g Core.Algorithm.Diameter ~rng:(Bench_common.rng (n + i)))
-      in
       let rounds_med =
-        Util.Stats.median (List.map (fun r -> float_of_int r.Core.Algorithm.rounds) runs)
+        Util.Stats.median (List.filter_map (num "rounds") rows)
       in
-      let worst_ratio =
-        Util.Stats.maxf (List.map (fun r -> r.Core.Algorithm.ratio) runs)
+      let worst_ratio = Util.Stats.maxf (List.filter_map (num "ratio") rows) in
+      let all_guar =
+        List.for_all
+          (fun v -> Harness.Hjson.member "within" v = Some (Harness.Hjson.Bool true))
+          rows
       in
-      let all_guar = List.for_all (fun r -> r.Core.Algorithm.within_guarantee) runs in
       let formula = Core.Params.theorem_1_1_rounds ~n ~d in
-      points := (float_of_int n, rounds_med) :: !points;
       fpoints := (float_of_int n, formula) :: !fpoints;
       Util.Table.add_row t
         [
@@ -52,12 +68,24 @@ let scaling () =
           Printf.sprintf "%.3f" worst_ratio;
           Util.Table.cell_bool all_guar;
         ])
-    [ 4; 6; 8; 12; 16 ];
+    spec.Harness.Spec.sizes;
   Util.Table.print t;
-  let slope, r2 = Bench_common.fit_exponent (List.rev !points) in
+  let series = Harness.Runner.series_points spec store in
+  let points = Option.value ~default:[] (List.assoc_opt "thm11-diameter" series) in
+  let slope, r2 = Bench_common.fit_exponent points in
   let fslope, _ = Bench_common.fit_exponent (List.rev !fpoints) in
   Bench_common.note "measured log-log slope vs n: %.3f (r^2 = %.3f)" slope r2;
   Bench_common.note "formula slope on same points:  %.3f (paper: 9/10 = 0.9 at fixed D)" fslope;
+  let verdict = Harness.Fit.evaluate spec.Harness.Spec.gates ~series in
+  List.iter
+    (fun (c : Harness.Fit.check) ->
+      Bench_common.note "gate %s: %s — %s" c.Harness.Fit.series
+        (if c.Harness.Fit.pass then "pass" else "FAIL")
+        c.Harness.Fit.reason)
+    verdict.Harness.Fit.checks;
+  Bench_common.note "wrote %s"
+    (Telemetry.Export.write_artifact ~name:"thm11_scaling.sweep.json"
+       (Harness.Runner.report spec store));
   Bench_common.note
     "At these n the paper's parameters are degenerate (l = n log n / r clamps to n,";
   Bench_common.note

@@ -88,7 +88,12 @@ let run_quantum objective jobs input family n max_w cliques seed =
   let r = Core.Algorithm.run g objective ~rng in
   Format.printf "%a@." Core.Algorithm.pp_result r;
   Printf.printf "round breakdown:\n";
-  List.iter (fun (k, v) -> Printf.printf "  %-42s %d\n" k v) r.Core.Algorithm.breakdown
+  List.iter (fun (k, v) -> Printf.printf "  %-42s %d\n" k v) r.Core.Algorithm.breakdown;
+  if r.Core.Algorithm.within_guarantee then 0
+  else begin
+    Printf.eprintf "qcongest: estimate outside the (1+eps)^2 guarantee\n";
+    1
+  end
 
 let diameter_cmd =
   let term =
@@ -118,7 +123,8 @@ let run_classical jobs input family n max_w cliques seed =
     d.Baselines.All_pairs.rounds;
   Printf.printf "exact weighted radius   = %d (in %d rounds)\n" r.Baselines.All_pairs.value
     r.Baselines.All_pairs.rounds;
-  Printf.printf "(BFS tree construction: %d rounds)\n" ttrace.Congest.Engine.rounds
+  Printf.printf "(BFS tree construction: %d rounds)\n" ttrace.Congest.Engine.rounds;
+  0
 
 let classical_cmd =
   let term =
@@ -139,7 +145,12 @@ let run_unweighted family n max_w cliques seed =
     r.Baselines.Legall_magniez.value r.Baselines.Legall_magniez.exact
     r.Baselines.Legall_magniez.correct r.Baselines.Legall_magniez.rounds
     r.Baselines.Legall_magniez.groups r.Baselines.Legall_magniez.group_size
-    r.Baselines.Legall_magniez.outer_iterations
+    r.Baselines.Legall_magniez.outer_iterations;
+  if r.Baselines.Legall_magniez.correct then 0
+  else begin
+    Printf.eprintf "qcongest: search returned a wrong diameter\n";
+    1
+  end
 
 let unweighted_cmd =
   let term =
@@ -157,7 +168,8 @@ let run_gadget h density seed =
   Printf.printf "h = %d: s = %d, ell = %d, m = %d, n = %d\n" h p.Lowerbound.Gadget.s
     p.Lowerbound.Gadget.ell p.Lowerbound.Gadget.m p.Lowerbound.Gadget.expected_n;
   let gd = Lowerbound.Gadget.build ~variant:Lowerbound.Gadget.Diameter_gadget ~h ~input () in
-  Printf.printf "structural invariants: %b\n" (Lowerbound.Gadget.structural_ok gd);
+  let structural = Lowerbound.Gadget.structural_ok gd in
+  Printf.printf "structural invariants: %b\n" structural;
   let gap = Lowerbound.Contraction_check.lemma_4_4 gd in
   Printf.printf
     "F(x,y) = %b; D_{G'} = %d; thresholds YES <= %d / NO >= %d; gap holds = %b\n"
@@ -171,7 +183,13 @@ let run_gadget h density seed =
     gapr.Lowerbound.Contraction_check.ok;
   let b = Lowerbound.Theorem.bound_measured ~h in
   Printf.printf "lower bound: Q^sv >= %.0f, T >= %.2f (n^{2/3} = %.1f)\n" b.Lowerbound.Theorem.q_sv
-    b.Lowerbound.Theorem.t_lower b.Lowerbound.Theorem.n_two_thirds
+    b.Lowerbound.Theorem.t_lower b.Lowerbound.Theorem.n_two_thirds;
+  if structural && gap.Lowerbound.Contraction_check.ok && gapr.Lowerbound.Contraction_check.ok
+  then 0
+  else begin
+    Printf.eprintf "qcongest: gadget invariant or Lemma 4.4/4.9 gap check failed\n";
+    1
+  end
 
 let gadget_cmd =
   let h_arg =
@@ -219,7 +237,13 @@ let run_faults input family n max_w cliques seed drop dup delay crashes strict b
      (* Expected as soon as nodes fail-stop; any other cause is a bug. *)
      Printf.printf "BFS levels differ on %d node(s) (crashed: %d).\n" !mismatches
        tr.Congest.Engine.crashed);
-  if json then print_endline (Congest.Engine.trace_to_json tr)
+  if json then print_endline (Congest.Engine.trace_to_json tr);
+  (* Divergence without a crashed node means reliable delivery failed. *)
+  if !mismatches > 0 && tr.Congest.Engine.crashed = 0 then begin
+    Printf.eprintf "qcongest: BFS diverged from the fault-free run with no crashes\n";
+    1
+  end
+  else 0
 
 let faults_cmd =
   let drop_arg =
@@ -330,8 +354,8 @@ let run_trace input family n max_w cliques seed drop dup delay fault_seed artifa
     Format.eprintf "qcongest trace: replay mismatch!@.  recorded: %a@.  replayed: %a@."
       Congest.Engine.pp_trace total Congest.Engine.pp_trace replayed;
     exit 1
-  end;
-  Printf.printf "replay check: %d events reconstruct the trace counters exactly\n"
+  end
+  else Printf.printf "replay check: %d events reconstruct the trace counters exactly\n"
     (List.length events);
   let metrics = Telemetry.Metrics.create () in
   Congest.Runner.export_metrics runner metrics;
@@ -357,7 +381,8 @@ let run_trace input family n max_w cliques seed drop dup delay fault_seed artifa
   wrote metrics_file;
   let phases_file = Filename.concat dir "trace.phases.json" in
   Telemetry.Export.write_file ~path:phases_file (Congest.Runner.to_json runner);
-  wrote phases_file
+  wrote phases_file;
+  0
 
 let trace_cmd =
   let drop_arg =
@@ -425,13 +450,223 @@ let run_params n d =
     (Core.Params.theorem_1_1_rounds ~n ~d);
   Printf.printf "quantum advantage (D < n^{1/3} = %.1f): %b\n"
     (Baselines.Table1.crossover_d ~n)
-    (float_of_int d < Baselines.Table1.crossover_d ~n)
+    (float_of_int d < Baselines.Table1.crossover_d ~n);
+  0
 
 let params_cmd =
   let n_arg = Arg.(value & opt int 1024 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Node count.") in
   let d_arg = Arg.(value & opt int 16 & info [ "d"; "diameter" ] ~docv:"D" ~doc:"Unweighted diameter.") in
   Cmd.v (Cmd.info "params" ~doc:"Print Eq. (1) parameters and the paper's cost formulas.")
     Term.(const run_params $ n_arg $ d_arg)
+
+(* ------------------------------ sweep ------------------------------ *)
+
+let builtin_specs =
+  [
+    ("ci-smoke", Harness.Spec.ci_smoke);
+    ("thm11-scaling", Harness.Spec.thm11_scaling);
+    ("table1-measured", Harness.Spec.table1_measured);
+  ]
+
+let load_spec spec_file builtin =
+  match spec_file with
+  | Some path -> (
+    match Harness.Spec.load ~path with
+    | Ok s -> Ok s
+    | Error m -> Error (Printf.sprintf "%s: %s" path m))
+  | None -> (
+    match List.assoc_opt builtin builtin_specs with
+    | Some s -> Ok s
+    | None ->
+      Error
+        (Printf.sprintf "unknown built-in spec %S (have: %s)" builtin
+           (String.concat ", " (List.map fst builtin_specs))))
+
+let resolve_store_path (spec : Harness.Spec.t) override =
+  match override with
+  | Some p -> p
+  | None ->
+    Filename.concat (Telemetry.Export.artifacts_dir ()) (spec.Harness.Spec.name ^ ".jsonl")
+
+let sweep_error msg =
+  Printf.eprintf "qcongest sweep: %s\n" msg;
+  2
+
+let load_store spec override =
+  let path = resolve_store_path spec override in
+  let store = Harness.Store.load ~path in
+  if Harness.Store.dropped_lines store > 0 then
+    Printf.printf "checkpoint %s: truncated %d corrupt trailing line(s)\n" path
+      (Harness.Store.dropped_lines store);
+  store
+
+let stored_failures store =
+  List.length
+    (List.filter
+       (fun (_, row) ->
+         match Harness.Hjson.parse row with
+         | Ok v -> Harness.Hjson.member "status" v <> Some (Harness.Hjson.Str "ok")
+         | Error _ -> true)
+       (Harness.Store.rows store))
+
+let sweep_run jobs spec_file builtin store_override max_jobs =
+  set_jobs jobs;
+  match load_spec spec_file builtin with
+  | Error m -> sweep_error m
+  | Ok spec ->
+    let store = load_store spec store_override in
+    let total = List.length (Harness.Spec.jobs spec) in
+    Printf.printf "sweep %s: %d jobs (%d already checkpointed in %s)\n%!"
+      spec.Harness.Spec.name total (Harness.Store.count store)
+      (Harness.Store.path store);
+    let executed, failed =
+      Harness.Runner.run ?max_jobs spec store ~on_progress:(fun ~completed ~total ->
+          Printf.printf "  checkpoint: %d/%d jobs\n%!" completed total)
+    in
+    Printf.printf "executed %d job(s), %d failed in this invocation\n" executed failed;
+    let report = Harness.Runner.report spec store in
+    Printf.printf "wrote %s\n"
+      (Telemetry.Export.write_artifact
+         ~name:(spec.Harness.Spec.name ^ ".sweep.json")
+         report);
+    let failures = stored_failures store in
+    if Harness.Store.count store < total then begin
+      Printf.printf "%d job(s) still pending — rerun `sweep run` to resume\n"
+        (total - Harness.Store.count store);
+      0
+    end
+    else if failures > 0 then begin
+      Printf.eprintf "qcongest sweep: %d of %d jobs failed (see the report artifact)\n"
+        failures total;
+      1
+    end
+    else 0
+
+let sweep_report spec_file builtin store_override =
+  match load_spec spec_file builtin with
+  | Error m -> sweep_error m
+  | Ok spec ->
+    let store = load_store spec store_override in
+    print_endline (Harness.Runner.report spec store);
+    0
+
+let sweep_gate jobs spec_file builtin store_override negative_control =
+  set_jobs jobs;
+  match load_spec spec_file builtin with
+  | Error m -> sweep_error m
+  | Ok spec ->
+    if spec.Harness.Spec.gates = [] then sweep_error "spec has no gates to check"
+    else begin
+      let series =
+        if negative_control then
+          (* Synthetic mis-scaled series: one extra power of n beyond
+             each gate's tolerance band, so a healthy gate MUST reject
+             it (the test that the gate can actually fail). *)
+          List.map
+            (fun (g : Harness.Spec.gate) ->
+              let bad = g.Harness.Spec.expected +. g.Harness.Spec.tol +. 1.0 in
+              ( g.Harness.Spec.series,
+                List.map
+                  (fun n -> (float_of_int n, float_of_int n ** bad))
+                  spec.Harness.Spec.sizes ))
+            spec.Harness.Spec.gates
+        else Harness.Runner.series_points spec (load_store spec store_override)
+      in
+      let verdict = Harness.Fit.evaluate spec.Harness.Spec.gates ~series in
+      List.iter
+        (fun (c : Harness.Fit.check) ->
+          Printf.printf "gate %-20s %s  %s\n" c.Harness.Fit.series
+            (if c.Harness.Fit.pass then "PASS" else "FAIL")
+            c.Harness.Fit.reason)
+        verdict.Harness.Fit.checks;
+      let artifact =
+        spec.Harness.Spec.name
+        ^ (if negative_control then ".negative.gate.json" else ".gate.json")
+      in
+      Printf.printf "wrote %s\n"
+        (Telemetry.Export.write_artifact ~name:artifact
+           (Harness.Fit.verdict_to_json verdict));
+      Harness.Fit.exit_code verdict
+    end
+
+let sweep_cmd =
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Sweep spec JSON file (overrides $(b,--builtin)).")
+  in
+  let builtin_arg =
+    Arg.(
+      value & opt string "ci-smoke"
+      & info [ "builtin" ] ~docv:"NAME"
+          ~doc:"Built-in spec: ci-smoke, thm11-scaling or table1-measured.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint store (JSONL, one row per completed job). Defaults to \
+             $(i,ARTIFACTS_DIR)/$(i,spec-name).jsonl. An existing store resumes the sweep: \
+             completed jobs are skipped and the final results are byte-identical to an \
+             uninterrupted run.")
+  in
+  let max_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-jobs" ] ~docv:"K"
+          ~doc:"Execute at most $(docv) pending jobs then stop (for partial/staged runs).")
+  in
+  let negative_arg =
+    Arg.(
+      value & flag
+      & info [ "negative-control" ]
+          ~doc:
+            "Evaluate the gates against a synthetic mis-scaled series instead of the store; a \
+             healthy gate exits 3. Verifies the gate can fail.")
+  in
+  let run_term =
+    Term.(const sweep_run $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ max_jobs_arg)
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Execute the sweep's pending jobs over the domain pool, checkpointing each result; \
+            exits 1 if any checkpointed job failed.")
+      run_term
+  in
+  let resume_cmd =
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:
+           "Alias of $(b,run): an existing checkpoint store already makes $(b,run) skip \
+            completed jobs.")
+      run_term
+  in
+  let report_cmd =
+    Cmd.v
+      (Cmd.info "report" ~doc:"Print the sweep report JSON (accounting, series, fits, rows).")
+      Term.(const sweep_report $ spec_arg $ builtin_arg $ store_arg)
+  in
+  let gate_cmd =
+    Cmd.v
+      (Cmd.info "gate"
+         ~doc:
+           "Fit each gated series' round-complexity exponent and compare against the spec's \
+            prediction band; exits 3 on any failed gate.")
+      Term.(const sweep_gate $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ negative_arg)
+  in
+  Cmd.group
+    (Cmd.info "sweep"
+       ~doc:
+         "Declarative experiment sweeps: run/resume checkpointed job grids, report results, \
+          and gate empirical scaling exponents against Table 1 predictions.")
+    [ run_cmd; resume_cmd; report_cmd; gate_cmd ]
 
 let () =
   let info =
@@ -441,7 +676,7 @@ let () =
          reproduction toolkit"
   in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; faults_cmd;
-            trace_cmd; params_cmd ]))
+            trace_cmd; params_cmd; sweep_cmd ]))

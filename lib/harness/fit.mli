@@ -1,0 +1,48 @@
+(** Empirical round-complexity exponents and the regression gate.
+
+    The harness's verdict machinery: fit [log₂ rounds] against
+    [log₂ n] by least squares ({!Util.Stats.loglog_fit}), attach a
+    seeded-bootstrap confidence interval to the slope, and compare
+    each gated series' slope against its configured prediction band.
+    Everything is deterministic — the bootstrap resampling is driven
+    by a seed derived from the series name — so verdict artifacts are
+    byte-stable across runs, machines and job counts. *)
+
+type ci = { lo : float; hi : float }
+
+val bootstrap_ci : ?reps:int -> seed:int -> (float * float) list -> ci
+(** Percentile (2.5%, 97.5%) interval of the log-log slope over
+    [reps] (default 200) resamples-with-replacement of the points.
+    Degenerate resamples (all one [x]) are redrawn. Requires >= 2
+    distinct abscissae. *)
+
+type series_fit = { slope : float; intercept : float; r2 : float; ci : ci }
+
+val fit_series : seed:int -> (float * float) list -> series_fit option
+(** [None] when the series has fewer than 2 distinct positive
+    abscissae (nothing to fit). Non-positive points are dropped. *)
+
+type check = {
+  series : string;
+  expected : float;
+  tol : float;
+  min_r2 : float;
+  fit : series_fit option;  (** [None]: the series had no fittable data. *)
+  pass : bool;
+  reason : string;  (** Human-readable pass/fail cause. *)
+}
+
+type verdict = { pass : bool; checks : check list }
+
+val evaluate : Spec.gate list -> series:(string * (float * float) list) list -> verdict
+(** One check per gate; a gate whose series is absent from [series]
+    fails. [pass] iff every check passes. *)
+
+val verdict_to_json : verdict -> string
+(** The [qcongest-sweep-gate/v1] artifact. *)
+
+val exit_code : verdict -> int
+(** [0] on pass, [3] on any failed check — the CLI's contract. *)
+
+val seed_of_series : string -> int
+(** The deterministic bootstrap seed for a series name (FNV-derived). *)

@@ -1,0 +1,57 @@
+(** Sweep execution: pending jobs over {!Util.Domain_pool}, one
+    checkpoint row per job, deterministic reports.
+
+    Each job is a pure function of its {!Spec.job} cell (all
+    randomness comes from RNGs seeded by the cell), so results are
+    independent of the domain count, batch boundaries, and of whether
+    the sweep ran in one shot or was killed and resumed — the
+    property the kill-and-resume QCheck test pins byte-for-byte.
+
+    Failure isolation: a job that raises — including a structured
+    {!Congest.Engine.Round_limit_exceeded} — produces a
+    [status:"failed"] row with the error payload instead of aborting
+    the sweep; the remaining jobs still run. *)
+
+val make_graph : Spec.t -> n:int -> seed:int -> Graphlib.Wgraph.t
+(** The instance a job cell runs on — a pure function of
+    [(family, max_w, n, seed)], shared by every algorithm in the spec
+    (so per-instance comparisons are meaningful). Exposed so benches
+    can recompute instance facts (e.g. the unweighted diameter) that
+    rows do not carry. *)
+
+val run_job : Spec.t -> Spec.job -> string
+(** Execute one job and return its canonical single-line JSON row
+    ([qcongest-sweep-row/v1]). Never raises: failures are encoded in
+    the row. *)
+
+val protect : Spec.job -> (unit -> string) -> string
+(** The failure-isolation wrapper used by {!run_job}, exposed so the
+    error-row mapping is directly testable: runs the thunk, converting
+    [Round_limit_exceeded] into a [round-limit] error row and any
+    other exception into an [exception] error row. *)
+
+val run :
+  ?jobs:int ->
+  ?max_jobs:int ->
+  ?on_progress:(completed:int -> total:int -> unit) ->
+  Spec.t ->
+  Store.t ->
+  int * int
+(** Execute every spec job not yet in the store, fanning each batch
+    out over [jobs] domains (default: {!Util.Domain_pool} resolution)
+    and appending rows batch by batch, so an interrupted run loses at
+    most one batch of work. [max_jobs] caps how many jobs this
+    invocation executes (the hook the kill/resume tests use to
+    simulate an interruption). Returns
+    [(executed, failures_among_executed)]. *)
+
+val series_points : Spec.t -> Store.t -> (string * (float * float) list) list
+(** Per algorithm series: [(actual n, median rounds over seeds)] from
+    the store's [ok] rows, in the spec's algorithm order. *)
+
+val report : Spec.t -> Store.t -> string
+(** The [qcongest-sweep/v1] report: job accounting, per-series points
+    with exponent fits (bootstrap CIs included), the merged
+    {!Telemetry.Metrics} snapshot of every row, and the raw rows
+    sorted by job id. A deterministic function of the spec and the
+    store's row set. *)

@@ -1,0 +1,357 @@
+type algo =
+  | Thm11_diameter
+  | Thm11_radius
+  | Classical_diameter
+  | Classical_radius
+  | Lm_unweighted
+  | Approx_apsp
+  | Three_halves
+  | Sssp_two_approx
+  | Bfs_reliable
+
+let algo_name = function
+  | Thm11_diameter -> "thm11-diameter"
+  | Thm11_radius -> "thm11-radius"
+  | Classical_diameter -> "classical-diameter"
+  | Classical_radius -> "classical-radius"
+  | Lm_unweighted -> "lm-unweighted"
+  | Approx_apsp -> "approx-apsp"
+  | Three_halves -> "three-halves"
+  | Sssp_two_approx -> "sssp-2approx"
+  | Bfs_reliable -> "bfs-reliable"
+
+let all_algos =
+  [ Thm11_diameter; Thm11_radius; Classical_diameter; Classical_radius; Lm_unweighted;
+    Approx_apsp; Three_halves; Sssp_two_approx; Bfs_reliable ]
+
+let algo_of_name s = List.find_opt (fun a -> algo_name a = s) all_algos
+
+type family =
+  | Ring of { cliques : int }
+  | Chain of { cliques : int }
+  | Gnp of { p : float }
+  | Grid
+  | Hard
+  | Random_tree
+
+(* Canonical form: participates in job ids, so it must never change
+   for an existing constructor (that would orphan old checkpoints). *)
+let family_name = function
+  | Ring { cliques } -> Printf.sprintf "ring:%d" cliques
+  | Chain { cliques } -> Printf.sprintf "chain:%d" cliques
+  | Gnp { p } -> Printf.sprintf "gnp:%s" (Telemetry.Tjson.float p)
+  | Grid -> "grid"
+  | Hard -> "hard"
+  | Random_tree -> "tree"
+
+let family_of_name s =
+  match String.split_on_char ':' s with
+  | [ "ring"; c ] -> Option.map (fun cliques -> Ring { cliques }) (int_of_string_opt c)
+  | [ "chain"; c ] -> Option.map (fun cliques -> Chain { cliques }) (int_of_string_opt c)
+  | [ "gnp"; p ] -> Option.map (fun p -> Gnp { p }) (float_of_string_opt p)
+  | [ "grid" ] -> Some Grid
+  | [ "hard" ] -> Some Hard
+  | [ "tree" ] -> Some Random_tree
+  | _ -> None
+
+type fault_profile = {
+  drop : float;
+  delay : int;
+  duplicate : float;
+  fault_seed : int;
+}
+
+let benign = { drop = 0.0; delay = 0; duplicate = 0.0; fault_seed = 0 }
+
+type gate = { series : string; expected : float; tol : float; min_r2 : float }
+
+type t = {
+  name : string;
+  version : int;
+  algos : algo list;
+  family : family;
+  max_w : int;
+  sizes : int list;
+  seeds : int list;
+  faults : fault_profile;
+  gates : gate list;
+}
+
+let current_version = 1
+
+let validate_probability what p =
+  if p < 0.0 || p > 1.0 || Float.is_nan p then
+    invalid_arg (Printf.sprintf "Spec: %s=%g outside [0,1]" what p)
+
+let make ~name ?(version = current_version) ~algos ~family ?(max_w = 16) ~sizes ~seeds
+    ?(faults = benign) ?(gates = []) () =
+  if name = "" then invalid_arg "Spec: empty name";
+  if version <> current_version then
+    invalid_arg (Printf.sprintf "Spec: unsupported version %d" version);
+  if algos = [] then invalid_arg "Spec: empty algorithm list";
+  if sizes = [] then invalid_arg "Spec: empty size grid";
+  if seeds = [] then invalid_arg "Spec: empty seed set";
+  if max_w < 1 then invalid_arg "Spec: max_w < 1";
+  List.iter (fun n -> if n < 2 then invalid_arg "Spec: size < 2") sizes;
+  validate_probability "drop" faults.drop;
+  validate_probability "duplicate" faults.duplicate;
+  if faults.delay < 0 then invalid_arg "Spec: negative delay";
+  (match family with
+  | Ring { cliques } ->
+    (* Gen.cliques_cycle's own floor. *)
+    if cliques < 3 then invalid_arg "Spec: ring needs >= 3 cliques"
+  | Chain { cliques } -> if cliques < 1 then invalid_arg "Spec: cliques < 1"
+  | Gnp { p } -> validate_probability "gnp p" p
+  | Hard ->
+    if List.exists (fun n -> n < 4) sizes then
+      invalid_arg "Spec: hard family needs sizes >= 4"
+  | Grid | Random_tree -> ());
+  let series_names = List.map algo_name algos in
+  List.iter
+    (fun g ->
+      if not (List.mem g.series series_names) then
+        invalid_arg (Printf.sprintf "Spec: gate series %S not in algorithm list" g.series);
+      if g.tol < 0.0 then invalid_arg "Spec: negative gate tolerance")
+    gates;
+  (* Dedupe while keeping first occurrences: duplicate algos or seeds
+     would assign one job id twice and trip the store's duplicate-row
+     guard mid-sweep. *)
+  let dedup xs =
+    List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+    |> List.rev
+  in
+  { name; version; algos = dedup algos; family; max_w;
+    sizes = List.sort_uniq compare sizes; seeds = dedup seeds; faults; gates }
+
+let geometric ~n_min ~n_max ~factor =
+  if n_min < 2 || n_max < n_min then invalid_arg "Spec.geometric: bad range";
+  if factor <= 1.0 then invalid_arg "Spec.geometric: factor <= 1";
+  let rec go acc n =
+    if n >= n_max then List.rev (n_max :: acc)
+    else
+      let next = max (n + 1) (int_of_float (ceil (float_of_int n *. factor))) in
+      go (n :: acc) next
+  in
+  go [] n_min
+
+(* ------------------------------ Job ids ---------------------------- *)
+
+type job = { id : string; algo : algo; n : int; seed : int }
+
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  !h
+
+(* The content a job id commits to: everything that determines the
+   job's result, nothing that doesn't (not the spec name, not the
+   rest of the grid). Bump [current_version] if this ever changes. *)
+let job_key t algo ~n ~seed =
+  Printf.sprintf "v%d;algo=%s;family=%s;max_w=%d;n=%d;seed=%d;faults=%s,%d,%s,%d"
+    t.version (algo_name algo) (family_name t.family) t.max_w n seed
+    (Telemetry.Tjson.float t.faults.drop)
+    t.faults.delay
+    (Telemetry.Tjson.float t.faults.duplicate)
+    t.faults.fault_seed
+
+let job_id t algo ~n ~seed = Printf.sprintf "%016Lx" (fnv1a64 (job_key t algo ~n ~seed))
+
+let jobs t =
+  List.concat_map
+    (fun algo ->
+      List.concat_map
+        (fun n ->
+          List.map (fun seed -> { id = job_id t algo ~n ~seed; algo; n; seed }) t.seeds)
+        t.sizes)
+    t.algos
+
+(* ---------------------------- Serialization ------------------------ *)
+
+let to_json t =
+  let module J = Telemetry.Tjson in
+  J.obj
+    [
+      ("schema", J.str "qcongest-sweep-spec/v1");
+      ("name", J.str t.name);
+      ("version", J.int t.version);
+      ("algos", J.arr (List.map (fun a -> J.str (algo_name a)) t.algos));
+      ("family", J.str (family_name t.family));
+      ("max_w", J.int t.max_w);
+      ("sizes", J.arr (List.map J.int t.sizes));
+      ("seeds", J.arr (List.map J.int t.seeds));
+      ( "faults",
+        J.obj
+          [
+            ("drop", J.float t.faults.drop);
+            ("delay", J.int t.faults.delay);
+            ("duplicate", J.float t.faults.duplicate);
+            ("fault_seed", J.int t.faults.fault_seed);
+          ] );
+      ( "gates",
+        J.arr
+          (List.map
+             (fun g ->
+               J.obj
+                 [
+                   ("series", J.str g.series);
+                   ("expected", J.float g.expected);
+                   ("tol", J.float g.tol);
+                   ("min_r2", J.float g.min_r2);
+                 ])
+             t.gates) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv v =
+  match Option.bind (Hjson.member name v) conv with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "spec: missing or ill-typed field %S" name)
+
+let field_default name conv ~default v =
+  match Hjson.member name v with
+  | None -> Ok default
+  | Some x -> (
+    match conv x with
+    | Some y -> Ok y
+    | None -> Error (Printf.sprintf "spec: ill-typed field %S" name))
+
+let int_list v =
+  Option.bind (Hjson.to_list_opt v) (fun l ->
+      let ints = List.filter_map Hjson.to_int_opt l in
+      if List.length ints = List.length l then Some ints else None)
+
+let parse_sizes v =
+  match v with
+  | Hjson.Arr _ -> (
+    match int_list v with
+    | Some l -> Ok l
+    | None -> Error "spec: sizes array must hold integers")
+  | Hjson.Obj _ ->
+    let* n_min = field "min" Hjson.to_int_opt v in
+    let* n_max = field "max" Hjson.to_int_opt v in
+    let* factor = field "factor" Hjson.to_float_opt v in
+    (try Ok (geometric ~n_min ~n_max ~factor) with Invalid_argument m -> Error m)
+  | _ -> Error "spec: sizes must be an array or a geometric grid object"
+
+let parse_faults v =
+  let* drop = field_default "drop" Hjson.to_float_opt ~default:0.0 v in
+  let* delay = field_default "delay" Hjson.to_int_opt ~default:0 v in
+  let* duplicate = field_default "duplicate" Hjson.to_float_opt ~default:0.0 v in
+  let* fault_seed = field_default "fault_seed" Hjson.to_int_opt ~default:0 v in
+  Ok { drop; delay; duplicate; fault_seed }
+
+let parse_gate v =
+  let* series = field "series" Hjson.to_string_opt v in
+  let* expected = field "expected" Hjson.to_float_opt v in
+  let* tol = field "tol" Hjson.to_float_opt v in
+  let* min_r2 = field_default "min_r2" Hjson.to_float_opt ~default:0.0 v in
+  Ok { series; expected; tol; min_r2 }
+
+let rec collect f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = collect f rest in
+    Ok (y :: ys)
+
+let of_json s =
+  let* v = Hjson.parse s in
+  let* schema = field_default "schema" Hjson.to_string_opt ~default:"qcongest-sweep-spec/v1" v in
+  if schema <> "qcongest-sweep-spec/v1" then
+    Error (Printf.sprintf "spec: unsupported schema %S" schema)
+  else
+    let* name = field "name" Hjson.to_string_opt v in
+    let* version = field_default "version" Hjson.to_int_opt ~default:current_version v in
+    let* algo_names =
+      field "algos"
+        (fun x ->
+          Option.bind (Hjson.to_list_opt x) (fun l ->
+              let names = List.filter_map Hjson.to_string_opt l in
+              if List.length names = List.length l then Some names else None))
+        v
+    in
+    let* algos =
+      collect
+        (fun n ->
+          match algo_of_name n with
+          | Some a -> Ok a
+          | None -> Error (Printf.sprintf "spec: unknown algorithm %S" n))
+        algo_names
+    in
+    let* family_str = field "family" Hjson.to_string_opt v in
+    let* family =
+      match family_of_name family_str with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "spec: unknown family %S" family_str)
+    in
+    let* max_w = field_default "max_w" Hjson.to_int_opt ~default:16 v in
+    let* sizes =
+      match Hjson.member "sizes" v with
+      | Some sv -> parse_sizes sv
+      | None -> Error "spec: missing field \"sizes\""
+    in
+    let* seeds = field "seeds" int_list v in
+    let* faults =
+      match Hjson.member "faults" v with None -> Ok benign | Some fv -> parse_faults fv
+    in
+    let* gates =
+      match Hjson.member "gates" v with
+      | None -> Ok []
+      | Some gv -> (
+        match Hjson.to_list_opt gv with
+        | None -> Error "spec: gates must be an array"
+        | Some l -> collect parse_gate l)
+    in
+    try Ok (make ~name ~version ~algos ~family ~max_w ~sizes ~seeds ~faults ~gates ())
+    with Invalid_argument m -> Error m
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> of_json s
+  | exception Sys_error m -> Error m
+
+(* ---------------------------- Built-ins ---------------------------- *)
+
+(* Gate calibration (see DESIGN.md "Sweep harness & scaling gates"):
+   the asymptotic exponents are 9/10 (Thm 1.1 at fixed D), 1 (exact
+   APSP) and 1/2 (3/2-approx), but at smoke sizes the measured slopes
+   differ: the ring family holds D_G fixed, so the 3/2-approx's
+   Õ(√n + D) series is nearly flat (D dominates), and the thm11
+   pipeline's stochastic search makes its slope noisy across seeds.
+   The expected values below are the empirical slopes at these exact
+   sizes/seeds; the bands are wide enough for seed noise yet far
+   tighter than the failure modes the gate exists to catch (a
+   quadratic regression, a vanished n-dependence). *)
+let ci_smoke =
+  make ~name:"ci-smoke"
+    ~algos:[ Thm11_diameter; Classical_diameter; Three_halves ]
+    ~family:(Ring { cliques = 8 }) ~max_w:16
+    ~sizes:[ 32; 48; 64; 96 ]
+    ~seeds:[ 1; 2; 3 ]
+    ~gates:
+      [
+        { series = "thm11-diameter"; expected = 0.75; tol = 0.55; min_r2 = 0.4 };
+        { series = "classical-diameter"; expected = 1.1; tol = 0.3; min_r2 = 0.9 };
+        { series = "three-halves"; expected = 0.1; tol = 0.45; min_r2 = 0.0 };
+      ]
+    ()
+
+let thm11_scaling =
+  make ~name:"thm11-scaling"
+    ~algos:[ Thm11_diameter ]
+    ~family:(Ring { cliques = 8 }) ~max_w:16
+    ~sizes:[ 32; 48; 64; 96; 128 ]
+    ~seeds:[ 1; 2; 3 ]
+    ~gates:[ { series = "thm11-diameter"; expected = 0.8; tol = 0.55; min_r2 = 0.4 } ]
+    ()
+
+let table1_measured =
+  make ~name:"table1-measured"
+    ~algos:
+      [ Classical_diameter; Classical_radius; Lm_unweighted; Approx_apsp; Three_halves;
+        Sssp_two_approx; Thm11_diameter; Thm11_radius ]
+    ~family:(Ring { cliques = 8 }) ~max_w:16 ~sizes:[ 64 ] ~seeds:[ 42 ] ()

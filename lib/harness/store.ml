@@ -1,0 +1,69 @@
+type t = {
+  path : string;
+  mutable ids : (string, unit) Hashtbl.t;
+  mutable entries : (string * string) list;  (** Reversed insertion order. *)
+  mutable dropped : int;
+}
+
+let path t = t.path
+let count t = List.length t.entries
+let dropped_lines t = t.dropped
+let mem t id = Hashtbl.mem t.ids id
+let rows t = List.rev t.entries
+let find t id = List.assoc_opt id (rows t)
+
+(* A valid row is a one-line JSON object carrying a string "id". *)
+let row_id line =
+  match Hjson.parse line with
+  | Ok (Hjson.Obj _ as v) -> Option.bind (Hjson.member "id" v) Hjson.to_string_opt
+  | Ok _ | Error _ -> None
+
+let load ~path =
+  let t = { path; ids = Hashtbl.create 64; entries = []; dropped = 0 } in
+  if Sys.file_exists path then begin
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    let lines = String.split_on_char '\n' content in
+    (* A well-formed file ends with '\n', so splitting yields a final
+       "" sentinel; anything else trailing is a partial write. *)
+    let rec consume kept = function
+      | [] | [ "" ] -> (List.rev kept, 0)
+      | line :: rest -> (
+        match row_id line with
+        | Some id when not (Hashtbl.mem t.ids id) ->
+          Hashtbl.replace t.ids id ();
+          consume ((id, line) :: kept) rest
+        | Some _ | None ->
+          (* First bad (or duplicate — only possible via manual
+             editing) line: drop it and the whole tail. *)
+          (List.rev kept, List.length (List.filter (fun l -> l <> "") (line :: rest))))
+    in
+    let kept, dropped = consume [] lines in
+    t.entries <- List.rev kept;
+    t.dropped <- dropped;
+    let ends_clean = dropped = 0 && (content = "" || content.[String.length content - 1] = '\n') in
+    if not ends_clean then begin
+      let b = Buffer.create (String.length content) in
+      List.iter
+        (fun (_, line) ->
+          Buffer.add_string b line;
+          Buffer.add_char b '\n')
+        kept;
+      Telemetry.Export.write_file_atomic ~path (Buffer.contents b)
+    end
+  end;
+  t
+
+let append t ~id row =
+  if String.contains row '\n' then invalid_arg "Store.append: row contains a newline";
+  (match row_id row with
+  | Some rid when rid = id -> ()
+  | _ -> invalid_arg "Store.append: row is not a JSON object with the given id");
+  if mem t id then invalid_arg (Printf.sprintf "Store.append: duplicate id %s" id);
+  Telemetry.Export.mkdir_p (Filename.dirname t.path);
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 t.path in
+  output_string oc row;
+  output_char oc '\n';
+  flush oc;
+  close_out oc;
+  Hashtbl.replace t.ids id ();
+  t.entries <- (id, row) :: t.entries

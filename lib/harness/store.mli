@@ -1,0 +1,49 @@
+(** Append-only JSONL checkpoint store for sweep runs.
+
+    One line per completed job: a single-line JSON object whose ["id"]
+    field is the job's content hash ({!Spec.job_id}). The format is
+    crash-tolerant by construction:
+
+    - {b appends} are a single [write] of one line followed by a
+      flush, so a kill can at worst leave one partial trailing line;
+    - {b loads} parse the file line by line and {e truncate the
+      corrupt tail}: the first line that is not a well-formed row
+      (and everything after it) is dropped, and the file is rewritten
+      to the surviving prefix with an atomic tmp-rename
+      ({!Telemetry.Export.write_file_atomic});
+    - {b resume} is a set-membership test: {!mem} tells the runner
+      which job ids are already settled, so re-running an interrupted
+      sweep executes exactly the missing jobs. Because each row is a
+      deterministic function of its job, an interrupted-then-resumed
+      sweep ends with a store whose row {e set} — and therefore the
+      report generated from it — is byte-identical to an
+      uninterrupted run's. *)
+
+type t
+
+val load : path:string -> t
+(** Open (or create empty) the store at [path], truncating any corrupt
+    tail as described above. Raises [Sys_error] only on genuine I/O
+    failure, never on corruption. *)
+
+val path : t -> string
+
+val append : t -> id:string -> string -> unit
+(** Persist one row. [row] must be a single-line JSON object whose
+    ["id"] field equals [id] (checked; raises [Invalid_argument]
+    otherwise, as does a duplicate or embedded-newline row). The line
+    is on disk when [append] returns. *)
+
+val mem : t -> string -> bool
+(** Is a row with this job id present? *)
+
+val find : t -> string -> string option
+(** The raw row for a job id. *)
+
+val rows : t -> (string * string) list
+(** All [(id, row)] pairs in insertion order. *)
+
+val count : t -> int
+
+val dropped_lines : t -> int
+(** Corrupt lines discarded by {!load} (0 after a clean shutdown). *)

@@ -24,6 +24,26 @@ let write_file ~path content =
   output_string oc content;
   close_out oc
 
+let write_file_atomic ~path content =
+  mkdir_p (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  (* Data must hit the disk before the rename publishes it, or a crash
+     could leave a complete-looking but empty file. *)
+  flush oc;
+  close_out oc;
+  Sys.rename tmp path
+
+let write_artifact ?dir ~name content =
+  let path = Filename.concat (artifacts_dir ?override:dir ()) name in
+  let body =
+    let len = String.length content in
+    if len > 0 && content.[len - 1] = '\n' then content else content ^ "\n"
+  in
+  write_file ~path body;
+  path
+
 let write_events_jsonl ~path events =
   mkdir_p (Filename.dirname path);
   let oc = open_out path in

@@ -25,6 +25,18 @@ val mkdir_p : string -> unit
 
 val write_file : path:string -> string -> unit
 
+val write_file_atomic : path:string -> string -> unit
+(** Write to [path ^ ".tmp"] then rename over [path]: readers never
+    observe a half-written file. Used for every checkpoint/report
+    rewrite in the sweep harness. *)
+
+val write_artifact : ?dir:string -> name:string -> string -> string
+(** [write_artifact ~name content] writes [content]
+    (newline-terminated) as [<artifacts_dir>/<name>] and returns the
+    full path — the one shared JSON/artifact dump helper the bench
+    sections and harness all route through. [?dir] overrides the
+    directory resolution exactly like {!artifacts_dir}. *)
+
 val write_events_jsonl : path:string -> Events.t list -> unit
 
 val chrome_trace : ?process_name:string -> Events.t list -> string

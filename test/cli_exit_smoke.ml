@@ -1,0 +1,102 @@
+(* Exit-code regression for the qcongest CLI, focused on the sweep
+   subcommand's contract:
+
+     0  clean run (including "jobs still pending")
+     1  the sweep completed but checkpointed failures
+     2  sweep usage errors (unknown spec, bad file)
+     3  a scaling gate rejected the measured exponents
+     124  cmdliner CLI parse errors
+
+   Run via `dune build @cli-exit-codes` (also under `dune runtest`);
+   argv.(1) is the CLI executable. The driver links the harness
+   library so it can fabricate specs and checkpoint rows directly. *)
+
+let failures = ref 0
+
+let expect ~what code cmd =
+  let rc = Sys.command (cmd ^ " > /dev/null") in
+  if rc = code then Printf.printf "ok   exit %-3d %s\n%!" code what
+  else begin
+    Printf.printf "FAIL exit %d (wanted %d): %s\n   %s\n%!" rc code what cmd;
+    incr failures
+  end
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: cli_exit_smoke <qcongest-cli-exe>";
+    exit 2
+  end;
+  let exe = Filename.quote Sys.argv.(1) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcongest_cli_smoke.%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  Unix.putenv "ARTIFACTS_DIR" dir;
+  let sweep args = Printf.sprintf "%s sweep %s" exe args in
+
+  (* 0: nothing executed yet, jobs pending — still a clean exit. *)
+  expect ~what:"sweep run with --max-jobs 0 (jobs pending)" 0
+    (sweep "run --builtin ci-smoke --max-jobs 0");
+
+  (* 2: usage errors the sweep layer detects itself. *)
+  expect ~what:"unknown built-in spec" 2 (sweep "run --builtin no-such-spec");
+  expect ~what:"unreadable spec file" 2 (sweep "run --spec /nonexistent/spec.json");
+
+  (* 3: the negative control — synthesized mis-scaled series that a
+     healthy gate must reject. *)
+  expect ~what:"gate --negative-control rejects mis-scaled series" 3
+    (sweep "gate --builtin ci-smoke --negative-control");
+
+  (* 124: cmdliner's own CLI-error exit for an unknown command. *)
+  expect ~what:"unknown subcommand" 124 (Printf.sprintf "%s frobnicate" exe);
+
+  (* A real tiny sweep: two 4–6 node exact-classical jobs, gated by an
+     absurd exponent so `run` passes and `gate` fails. *)
+  let tiny =
+    Harness.Spec.make ~name:"exit-smoke"
+      ~algos:[ Harness.Spec.Classical_diameter ]
+      ~family:(Harness.Spec.Chain { cliques = 2 })
+      ~max_w:4 ~sizes:[ 4; 6 ] ~seeds:[ 7 ]
+      ~gates:
+        [ { Harness.Spec.series = "classical-diameter"; expected = 99.0; tol = 0.01;
+            min_r2 = 0.0 } ]
+      ()
+  in
+  let spec_path = Filename.concat dir "exit-smoke.spec.json" in
+  Out_channel.with_open_text spec_path (fun oc ->
+      output_string oc (Harness.Spec.to_json tiny));
+  let spec = Printf.sprintf "--spec %s" (Filename.quote spec_path) in
+  expect ~what:"tiny sweep runs clean" 0 (sweep ("run " ^ spec));
+  expect ~what:"absurd gate rejects a clean sweep" 3 (sweep ("gate " ^ spec));
+  expect ~what:"report on a finished store" 0 (sweep ("report " ^ spec));
+
+  (* 1: a complete store that checkpointed a failure. Fabricate the
+     failed row directly (a genuine round-limit takes the engine's
+     full 10^6-round budget to produce). *)
+  let failing =
+    Harness.Spec.make ~name:"exit-smoke-failed"
+      ~algos:[ Harness.Spec.Classical_diameter ]
+      ~family:(Harness.Spec.Chain { cliques = 2 })
+      ~max_w:4 ~sizes:[ 4 ] ~seeds:[ 7 ] ()
+  in
+  let spec_path = Filename.concat dir "exit-smoke-failed.spec.json" in
+  Out_channel.with_open_text spec_path (fun oc ->
+      output_string oc (Harness.Spec.to_json failing));
+  let store = Harness.Store.load ~path:(Filename.concat dir "exit-smoke-failed.jsonl") in
+  List.iter
+    (fun (j : Harness.Spec.job) ->
+      Harness.Store.append store ~id:j.Harness.Spec.id
+        (Telemetry.Tjson.obj
+           [ ("id", Telemetry.Tjson.str j.Harness.Spec.id);
+             ("status", Telemetry.Tjson.str "failed") ]))
+    (Harness.Spec.jobs failing);
+  expect ~what:"complete store with failures exits 1" 1
+    (sweep (Printf.sprintf "run --spec %s" (Filename.quote spec_path)));
+
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  if !failures > 0 then begin
+    Printf.printf "%d exit-code regression(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "cli exit codes: all checks passed"

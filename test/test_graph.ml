@@ -185,6 +185,67 @@ let prop_bounded_hop_monotone =
       done;
       !ok && !prev = exact)
 
+(* Dijkstra packs (distance, node) into one heap word when every
+   finite distance survives the shift, and falls back to the indexed
+   heap otherwise. Pin both sides of that dispatch boundary against
+   the Bellman-Ford oracle (bounded_hop_distances at n-1 hops, which
+   never packs). *)
+
+let packed_weight_threshold n =
+  let rec shift b = if 1 lsl b >= n then b else shift (b + 1) in
+  max_int lsr (shift 1 + 1) / max 1 n
+
+let test_dijkstra_weight_boundary () =
+  let n = 4 in
+  let thr = packed_weight_threshold n in
+  List.iter
+    (fun w ->
+      let g =
+        Wgraph.make ~n
+          [ { Wgraph.u = 0; v = 1; w }; { u = 1; v = 2; w }; { u = 2; v = 3; w } ]
+      in
+      let d = Dijkstra.distances g ~src:0 in
+      checkb "farthest distance exact" true (d.(3) = 3 * w);
+      checkb "matches hop-bounded oracle" true
+        (d = Dijkstra.bounded_hop_distances g ~src:0 ~hops:(n - 1)))
+    [ thr; thr + 1 ];
+  (* A boundary-weight shortcut decision: the two-hop route at 2·thr
+     must lose to a direct edge one cheaper, and win against one
+     costlier — off-by-one packing errors flip exactly this. *)
+  List.iter
+    (fun (direct, expect) ->
+      let g =
+        Wgraph.make ~n:3
+          [ { Wgraph.u = 0; v = 1; w = thr }; { u = 1; v = 2; w = thr };
+            { u = 0; v = 2; w = direct } ]
+      in
+      checkb "shortcut choice" true ((Dijkstra.distances g ~src:0).(2) = expect))
+    [ ((2 * thr) - 1, (2 * thr) - 1); ((2 * thr) + 1, 2 * thr) ]
+
+let prop_dijkstra_scale_across_boundary =
+  QCheck.Test.make ~name:"dijkstra is scale-invariant across the packed/fallback boundary"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = random_graph ~max_w:10 seed in
+      let n = Wgraph.n g in
+      (* Scale every weight so max_weight lands just past the packed
+         threshold: the small graph takes the packed path, the scaled
+         one the Int_pq fallback; distances must scale exactly. *)
+      let scale = (packed_weight_threshold n / 10) + 1 in
+      let big =
+        Wgraph.make ~n
+          (Array.to_list (Wgraph.edge_array g)
+          |> List.map (fun e -> { e with Wgraph.w = e.Wgraph.w * scale }))
+      in
+      let d = Dijkstra.distances g ~src:0 in
+      let db = Dijkstra.distances big ~src:0 in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if db.(v) <> scale * d.(v) then ok := false
+      done;
+      !ok)
+
 let test_bounded_distance () =
   let rng = rng () in
   let g = Gen.path ~n:6 ~weighting:(Gen.Uniform { max_w = 3 }) ~rng in
@@ -483,6 +544,7 @@ let qsuite =
       prop_dijkstra_matches_bfs_on_unit;
       prop_dijkstra_triangle;
       prop_bounded_hop_monotone;
+      prop_dijkstra_scale_across_boundary;
       prop_radius_diameter_sandwich;
       prop_ecc_max_min;
       prop_reweight_sandwich;
@@ -516,6 +578,7 @@ let () =
       ( "shortest paths",
         [
           Alcotest.test_case "path reconstruction" `Quick test_dijkstra_path;
+          Alcotest.test_case "packed weight boundary" `Quick test_dijkstra_weight_boundary;
           Alcotest.test_case "bounded distance" `Quick test_bounded_distance;
           Alcotest.test_case "hop distance" `Quick test_hop_distance;
           Alcotest.test_case "hop diameter" `Quick test_hop_diameter;

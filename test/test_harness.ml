@@ -1,0 +1,421 @@
+(* Tests for lib/harness: the JSON parser, sweep specs and content-
+   hashed job ids, the checkpoint store (corrupt-tail truncation,
+   kill-and-resume determinism), the exponent fits and the regression
+   gate, and the runner's failure isolation. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* ------------------------------ Hjson ------------------------------ *)
+
+let test_hjson_values () =
+  let open Harness.Hjson in
+  Alcotest.(check bool) "null" true (parse "null" = Ok Null);
+  Alcotest.(check bool) "true" true (parse "true" = Ok (Bool true));
+  Alcotest.(check bool) "num" true (parse "-12.5e1" = Ok (Num (-125.0)));
+  Alcotest.(check bool) "str" true (parse {|"a\nb"|} = Ok (Str "a\nb"));
+  Alcotest.(check bool) "unicode escape" true (parse "\"\\u0041\"" = Ok (Str "A"));
+  Alcotest.(check bool) "arr" true
+    (parse "[1, 2, 3]" = Ok (Arr [ Num 1.0; Num 2.0; Num 3.0 ]));
+  Alcotest.(check bool) "obj" true
+    (parse {| {"a": 1, "b": [true]} |} = Ok (Obj [ ("a", Num 1.0); ("b", Arr [ Bool true ]) ]))
+
+let test_hjson_errors () =
+  let bad s =
+    match Harness.Hjson.parse s with Ok _ -> Alcotest.failf "parsed %S" s | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":}";
+  bad "nul";
+  bad "1 2" (* trailing garbage *);
+  bad "\"unterminated";
+  bad "{\"a\" 1}"
+
+let test_hjson_roundtrip () =
+  let open Harness.Hjson in
+  let v =
+    Obj
+      [
+        ("s", Str "q\"uote\\slash\n");
+        ("i", Num 42.0);
+        ("f", Num 1.5);
+        ("l", Arr [ Null; Bool false; Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "print/parse inverse" true (parse (print v) = Ok v)
+
+let test_hjson_accessors () =
+  let open Harness.Hjson in
+  let v = parse_exn {| {"n": 3, "name": "x", "ok": true, "xs": [1]} |} in
+  check "int" 3 (Option.get (Option.bind (member "n" v) to_int_opt));
+  checks "str" "x" (Option.get (Option.bind (member "name" v) to_string_opt));
+  checkb "bool" true (Option.get (Option.bind (member "ok" v) to_bool_opt));
+  check "list len" 1 (List.length (Option.get (Option.bind (member "xs" v) to_list_opt)));
+  checkb "missing member" true (member "absent" v = None);
+  checkb "int rejects fraction" true (to_int_opt (Num 1.5) = None)
+
+(* ------------------------------- Spec ------------------------------ *)
+
+let small_spec =
+  Harness.Spec.make ~name:"t"
+    ~algos:[ Harness.Spec.Classical_diameter; Harness.Spec.Sssp_two_approx ]
+    ~family:(Harness.Spec.Ring { cliques = 4 })
+    ~max_w:8 ~sizes:[ 8; 12 ] ~seeds:[ 1; 2 ] ()
+
+let test_spec_roundtrip () =
+  let s = small_spec in
+  match Harness.Spec.of_json (Harness.Spec.to_json s) with
+  | Error m -> Alcotest.fail m
+  | Ok s' ->
+    checkb "roundtrip" true (s = s');
+    checkb "job ids preserved" true (Harness.Spec.jobs s = Harness.Spec.jobs s')
+
+let test_spec_geometric () =
+  checkb "grid" true (Harness.Spec.geometric ~n_min:8 ~n_max:64 ~factor:2.0 = [ 8; 16; 32; 64 ]);
+  checkb "n_max always included" true
+    (List.rev (Harness.Spec.geometric ~n_min:10 ~n_max:100 ~factor:3.0) |> List.hd = 100);
+  (* Geometric sizes accepted in JSON form. *)
+  let json =
+    {| {"name":"g","algos":["classical-diameter"],"family":"ring:4",
+        "sizes":{"min":8,"max":32,"factor":2.0},"seeds":[1]} |}
+  in
+  match Harness.Spec.of_json json with
+  | Error m -> Alcotest.fail m
+  | Ok s -> checkb "sizes" true (s.Harness.Spec.sizes = [ 8; 16; 32 ])
+
+let test_spec_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "validation accepted a bad spec"
+  in
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:Harness.Spec.Grid ~sizes:[ 8 ] ~seeds:[ 1 ] ());
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[] ~family:Harness.Spec.Grid ~sizes:[ 8 ]
+        ~seeds:[ 1 ] ());
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:Harness.Spec.Grid ~sizes:[ 1 ] ~seeds:[ 1 ] ());
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:Harness.Spec.Grid ~sizes:[ 8 ] ~seeds:[ 1 ]
+        ~gates:[ { Harness.Spec.series = "thm11-diameter"; expected = 1.0; tol = 0.1; min_r2 = 0.0 } ]
+        ());
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:(Harness.Spec.Gnp { p = 1.5 }) ~sizes:[ 8 ] ~seeds:[ 1 ] ());
+  (* Families must satisfy their generators' own floors, so no job can
+     fail at graph-construction time. *)
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:(Harness.Spec.Ring { cliques = 2 }) ~sizes:[ 8 ] ~seeds:[ 1 ] ());
+  expect_invalid (fun () ->
+      Harness.Spec.make ~name:"x" ~algos:[ Harness.Spec.Three_halves ]
+        ~family:Harness.Spec.Hard ~sizes:[ 3; 8 ] ~seeds:[ 1 ] ())
+
+let test_job_ids () =
+  let s = small_spec in
+  let jobs = Harness.Spec.jobs s in
+  check "grid size" (2 * 2 * 2) (List.length jobs);
+  let ids = List.map (fun j -> j.Harness.Spec.id) jobs in
+  check "ids distinct" (List.length ids) (List.length (List.sort_uniq compare ids));
+  (* Content-hashing: the id depends only on the job's cell, not on the
+     rest of the grid or the spec name. *)
+  let wider =
+    Harness.Spec.make ~name:"other"
+      ~algos:[ Harness.Spec.Sssp_two_approx; Harness.Spec.Classical_diameter ]
+      ~family:(Harness.Spec.Ring { cliques = 4 })
+      ~max_w:8 ~sizes:[ 8; 12; 16 ] ~seeds:[ 1; 2; 3 ] ()
+  in
+  checks "cell id stable across specs"
+    (Harness.Spec.job_id s Harness.Spec.Classical_diameter ~n:12 ~seed:2)
+    (Harness.Spec.job_id wider Harness.Spec.Classical_diameter ~n:12 ~seed:2);
+  (* Pin one id literally: a change here silently orphans every
+     existing checkpoint store — bump the spec version instead. *)
+  checks "id format pinned" "54ccd63c3e0e010b"
+    (Harness.Spec.job_id s Harness.Spec.Classical_diameter ~n:12 ~seed:2)
+
+(* ------------------------------- Store ----------------------------- *)
+
+let temp_store_path () =
+  let path = Filename.temp_file "qcongest_store" ".jsonl" in
+  Sys.remove path;
+  path
+
+let row ~id fields =
+  Telemetry.Tjson.obj (("id", Telemetry.Tjson.str id) :: fields)
+
+let test_store_roundtrip () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~path in
+  check "empty" 0 (Harness.Store.count s);
+  Harness.Store.append s ~id:"a" (row ~id:"a" [ ("v", "1") ]);
+  Harness.Store.append s ~id:"b" (row ~id:"b" [ ("v", "2") ]);
+  checkb "mem" true (Harness.Store.mem s "a");
+  let s' = Harness.Store.load ~path in
+  check "reload count" 2 (Harness.Store.count s');
+  checkb "order preserved" true (List.map fst (Harness.Store.rows s') = [ "a"; "b" ]);
+  checkb "find" true (Harness.Store.find s' "b" = Some (row ~id:"b" [ ("v", "2") ]));
+  Sys.remove path
+
+let test_store_corrupt_tail () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~path in
+  Harness.Store.append s ~id:"a" (row ~id:"a" []);
+  Harness.Store.append s ~id:"b" (row ~id:"b" []);
+  (* Simulate a crash mid-append: a partial last line. *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "{\"id\":\"c\",\"tru";
+  close_out oc;
+  let s' = Harness.Store.load ~path in
+  check "valid prefix kept" 2 (Harness.Store.count s');
+  check "tail dropped" 1 (Harness.Store.dropped_lines s');
+  (* The truncating load rewrote the file: a fresh load is clean. *)
+  let s'' = Harness.Store.load ~path in
+  check "rewrite clean" 0 (Harness.Store.dropped_lines s'');
+  check "rewrite kept rows" 2 (Harness.Store.count s'');
+  (* Resume can fill the truncated job back in. *)
+  Harness.Store.append s'' ~id:"c" (row ~id:"c" []);
+  check "resumed" 3 (Harness.Store.count (Harness.Store.load ~path));
+  Sys.remove path
+
+let test_store_garbage_middle () =
+  let path = temp_store_path () in
+  Telemetry.Export.write_file ~path
+    (row ~id:"a" [] ^ "\nnot json at all\n" ^ row ~id:"b" [] ^ "\n");
+  let s = Harness.Store.load ~path in
+  (* Everything from the first bad line on is dropped — a valid row
+     after corruption cannot be trusted to belong to this sweep. *)
+  check "prefix only" 1 (Harness.Store.count s);
+  check "dropped" 2 (Harness.Store.dropped_lines s);
+  Sys.remove path
+
+let test_store_append_validation () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~path in
+  Harness.Store.append s ~id:"a" (row ~id:"a" []);
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "append accepted an invalid row"
+  in
+  expect_invalid (fun () -> Harness.Store.append s ~id:"a" (row ~id:"a" []));
+  expect_invalid (fun () -> Harness.Store.append s ~id:"b" (row ~id:"mismatch" []));
+  expect_invalid (fun () -> Harness.Store.append s ~id:"b" "not json");
+  expect_invalid (fun () -> Harness.Store.append s ~id:"b" (row ~id:"b" [] ^ "\n"));
+  Sys.remove path
+
+(* -------------------------------- Fit ------------------------------ *)
+
+let test_fit_power_law () =
+  (* Exact y = 3 * x^1.7: slope recovered, r2 = 1, CI collapses. *)
+  let pts = List.map (fun x -> (x, 3.0 *. (x ** 1.7))) [ 8.0; 16.0; 32.0; 64.0 ] in
+  match Harness.Fit.fit_series ~seed:7 pts with
+  | None -> Alcotest.fail "no fit"
+  | Some f ->
+    Alcotest.(check (float 1e-9)) "slope" 1.7 f.Harness.Fit.slope;
+    Alcotest.(check (float 1e-9)) "r2" 1.0 f.Harness.Fit.r2;
+    Alcotest.(check (float 1e-6)) "ci lo" 1.7 f.Harness.Fit.ci.Harness.Fit.lo;
+    Alcotest.(check (float 1e-6)) "ci hi" 1.7 f.Harness.Fit.ci.Harness.Fit.hi
+
+let test_fit_degenerate () =
+  checkb "single x" true (Harness.Fit.fit_series ~seed:1 [ (8.0, 3.0); (8.0, 4.0) ] = None);
+  checkb "nonpositive dropped" true (Harness.Fit.fit_series ~seed:1 [ (8.0, 0.0); (16.0, -1.0) ] = None)
+
+let test_fit_deterministic () =
+  let pts = [ (8.0, 20.0); (16.0, 51.0); (32.0, 90.0); (64.0, 210.0) ] in
+  let f1 = Option.get (Harness.Fit.fit_series ~seed:42 pts) in
+  let f2 = Option.get (Harness.Fit.fit_series ~seed:42 pts) in
+  checkb "same seed, same CI" true (f1 = f2)
+
+let gate series expected tol min_r2 = { Harness.Spec.series; expected; tol; min_r2 }
+
+let test_gate_verdicts () =
+  let series = [ ("good", List.map (fun x -> (x, x ** 1.5)) [ 8.0; 16.0; 32.0 ]) ] in
+  let pass_v = Harness.Fit.evaluate [ gate "good" 1.5 0.2 0.9 ] ~series in
+  checkb "pass" true pass_v.Harness.Fit.pass;
+  check "exit 0" 0 (Harness.Fit.exit_code pass_v);
+  let slope_fail = Harness.Fit.evaluate [ gate "good" 0.5 0.2 0.9 ] ~series in
+  checkb "slope deviation fails" false slope_fail.Harness.Fit.pass;
+  check "exit 3" 3 (Harness.Fit.exit_code slope_fail);
+  let absent = Harness.Fit.evaluate [ gate "missing" 1.0 0.5 0.0 ] ~series in
+  checkb "absent series fails" false absent.Harness.Fit.pass;
+  let empty = Harness.Fit.evaluate [] ~series in
+  checkb "no gates = no pass" false empty.Harness.Fit.pass;
+  (* r2 floor: noisy series with a wide-enough tolerance still fails. *)
+  let noisy = [ ("good", [ (8.0, 10.0); (16.0, 400.0); (32.0, 20.0); (64.0, 800.0) ]) ] in
+  let r2_fail = Harness.Fit.evaluate [ gate "good" 1.0 10.0 0.95 ] ~series:noisy in
+  checkb "r2 floor fails" false r2_fail.Harness.Fit.pass
+
+let test_verdict_json () =
+  let series = [ ("s", List.map (fun x -> (x, x)) [ 8.0; 16.0; 32.0 ]) ] in
+  let v = Harness.Fit.evaluate [ gate "s" 1.0 0.1 0.5 ] ~series in
+  let j = Harness.Hjson.parse_exn (Harness.Fit.verdict_to_json v) in
+  checkb "schema" true
+    (Harness.Hjson.member "schema" j = Some (Harness.Hjson.Str "qcongest-sweep-gate/v1"));
+  checkb "pass field" true (Harness.Hjson.member "pass" j = Some (Harness.Hjson.Bool true));
+  let gates = Option.get (Option.bind (Harness.Hjson.member "gates" j) Harness.Hjson.to_list_opt) in
+  check "one gate" 1 (List.length gates)
+
+(* ------------------------------ Runner ----------------------------- *)
+
+let job_of (spec : Harness.Spec.t) =
+  match Harness.Spec.jobs spec with j :: _ -> j | [] -> assert false
+
+let test_protect_round_limit () =
+  let j = job_of small_spec in
+  let info =
+    { Congest.Engine.protocol = "runaway"; round_reached = 1000001;
+      partial = Congest.Engine.empty_trace }
+  in
+  let r = Harness.Runner.protect j (fun () -> raise (Congest.Engine.Round_limit_exceeded info)) in
+  let v = Harness.Hjson.parse_exn r in
+  let str f = Option.bind (Harness.Hjson.member f v) Harness.Hjson.to_string_opt in
+  checkb "failed row" true (str "status" = Some "failed");
+  checkb "row keeps job id" true (str "id" = Some j.Harness.Spec.id);
+  let err = Option.get (Harness.Hjson.member "error" v) in
+  let estr f = Option.bind (Harness.Hjson.member f err) Harness.Hjson.to_string_opt in
+  checkb "kind" true (estr "kind" = Some "round-limit");
+  checkb "protocol" true (estr "protocol" = Some "runaway");
+  check "round" 1000001
+    (Option.get (Option.bind (Harness.Hjson.member "round" err) Harness.Hjson.to_int_opt))
+
+let test_protect_exception () =
+  let j = job_of small_spec in
+  let r = Harness.Runner.protect j (fun () -> failwith "boom") in
+  let v = Harness.Hjson.parse_exn r in
+  checkb "failed row" true
+    (Option.bind (Harness.Hjson.member "status" v) Harness.Hjson.to_string_opt = Some "failed");
+  let err = Option.get (Harness.Hjson.member "error" v) in
+  checkb "kind" true
+    (Option.bind (Harness.Hjson.member "kind" err) Harness.Hjson.to_string_opt
+    = Some "exception")
+
+let run_to_fresh_store ?max_jobs spec =
+  let path = temp_store_path () in
+  let store = Harness.Store.load ~path in
+  let _ = Harness.Runner.run ~jobs:1 ?max_jobs spec store in
+  store
+
+let store_bytes store =
+  In_channel.with_open_bin (Harness.Store.path store) In_channel.input_all
+
+let test_runner_end_to_end () =
+  let spec = small_spec in
+  let store = run_to_fresh_store spec in
+  let total = List.length (Harness.Spec.jobs spec) in
+  check "all jobs checkpointed" total (Harness.Store.count store);
+  List.iter
+    (fun (_, raw) ->
+      let v = Harness.Hjson.parse_exn raw in
+      checkb "row ok" true
+        (Option.bind (Harness.Hjson.member "status" v) Harness.Hjson.to_string_opt = Some "ok");
+      checkb "rounds positive" true
+        (Option.get (Option.bind (Harness.Hjson.member "rounds" v) Harness.Hjson.to_int_opt) > 0))
+    (Harness.Store.rows store);
+  (* Exact classical diameter: estimate = exact on every row. *)
+  let series = Harness.Runner.series_points spec store in
+  check "two series" 2 (List.length series);
+  List.iter
+    (fun (_, pts) -> check "one point per size" 2 (List.length pts))
+    series;
+  let report = Harness.Hjson.parse_exn (Harness.Runner.report spec store) in
+  check "report ok count" total
+    (Option.get (Option.bind (Harness.Hjson.member "ok" report) Harness.Hjson.to_int_opt));
+  check "report missing count" 0
+    (Option.get (Option.bind (Harness.Hjson.member "missing" report) Harness.Hjson.to_int_opt));
+  Sys.remove (Harness.Store.path store)
+
+let test_runner_jobs_determinism () =
+  let spec = small_spec in
+  let s1 = run_to_fresh_store spec in
+  let path = temp_store_path () in
+  let s4 = Harness.Store.load ~path in
+  let _ = Harness.Runner.run ~jobs:4 spec s4 in
+  checks "jobs=1 equals jobs=4" (store_bytes s1) (store_bytes s4);
+  checks "reports equal" (Harness.Runner.report spec s1) (Harness.Runner.report spec s4);
+  Sys.remove (Harness.Store.path s1);
+  Sys.remove path
+
+(* The acceptance property: killing a sweep after any k jobs and
+   resuming yields a byte-identical store and report. *)
+let prop_kill_resume =
+  QCheck.Test.make ~name:"kill-and-resume is byte-identical" ~count:8
+    QCheck.(
+      triple (int_range 0 7) (int_range 1 3)
+        (oneofl
+           [ Harness.Spec.Classical_diameter; Harness.Spec.Sssp_two_approx;
+             Harness.Spec.Three_halves; Harness.Spec.Bfs_reliable ]))
+    (fun (kill_after, jobs, extra_algo) ->
+      let spec =
+        Harness.Spec.make ~name:"kr"
+          ~algos:[ Harness.Spec.Classical_diameter; extra_algo ]
+          ~family:(Harness.Spec.Chain { cliques = 2 })
+          ~max_w:6 ~sizes:[ 6; 9 ] ~seeds:[ 3 ]
+          ~faults:{ Harness.Spec.drop = 0.05; delay = 1; duplicate = 0.0; fault_seed = 5 }
+          ()
+      in
+      let uninterrupted = run_to_fresh_store ~max_jobs:max_int spec in
+      (* Interrupted arm: k jobs, then resume with a different domain
+         count (resume must not depend on it). *)
+      let path = temp_store_path () in
+      let s = Harness.Store.load ~path in
+      let _ = Harness.Runner.run ~jobs:1 ~max_jobs:kill_after spec s in
+      let resumed = Harness.Store.load ~path in
+      let _ = Harness.Runner.run ~jobs spec resumed in
+      let same_bytes = store_bytes uninterrupted = store_bytes resumed in
+      let same_report =
+        Harness.Runner.report spec uninterrupted = Harness.Runner.report spec resumed
+      in
+      Sys.remove (Harness.Store.path uninterrupted);
+      Sys.remove path;
+      same_bytes && same_report)
+
+(* ------------------------------ Suite ------------------------------ *)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "hjson",
+        [
+          Alcotest.test_case "values" `Quick test_hjson_values;
+          Alcotest.test_case "errors" `Quick test_hjson_errors;
+          Alcotest.test_case "roundtrip" `Quick test_hjson_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_hjson_accessors;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "geometric" `Quick test_spec_geometric;
+          Alcotest.test_case "validation" `Quick test_spec_validation;
+          Alcotest.test_case "job ids" `Quick test_job_ids;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corrupt tail" `Quick test_store_corrupt_tail;
+          Alcotest.test_case "garbage middle" `Quick test_store_garbage_middle;
+          Alcotest.test_case "append validation" `Quick test_store_append_validation;
+        ] );
+      ( "fit",
+        [
+          Alcotest.test_case "power law" `Quick test_fit_power_law;
+          Alcotest.test_case "degenerate" `Quick test_fit_degenerate;
+          Alcotest.test_case "deterministic" `Quick test_fit_deterministic;
+          Alcotest.test_case "gate verdicts" `Quick test_gate_verdicts;
+          Alcotest.test_case "verdict json" `Quick test_verdict_json;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "protect round-limit" `Quick test_protect_round_limit;
+          Alcotest.test_case "protect exception" `Quick test_protect_exception;
+          Alcotest.test_case "end to end" `Slow test_runner_end_to_end;
+          Alcotest.test_case "jobs determinism" `Slow test_runner_jobs_determinism;
+          QCheck_alcotest.to_alcotest prop_kill_resume;
+        ] );
+    ]
