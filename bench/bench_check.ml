@@ -1,0 +1,53 @@
+(* Guarantee auditor over live engine streams: run the built-in audit
+   suite at a couple of instance sizes, report per-certificate
+   verdicts and the auditor's own cost (events audited per second),
+   and dump the machine-readable report. *)
+
+let run_suite ~n ~seed =
+  let cfg = { Check.Suite.default with Check.Suite.n; seed; trials = 120 } in
+  let t0 = Sys.time () in
+  let report = Check.Suite.run cfg in
+  let dt = Sys.time () -. t0 in
+  let t =
+    Util.Table.create_aligned
+      ~headers:
+        [
+          ("certificate", Util.Table.Left);
+          ("status", Util.Table.Left);
+          ("checks", Util.Table.Right);
+          ("violations", Util.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (c : Check.Report.certificate) ->
+      Util.Table.add_row t
+        [
+          c.Check.Report.name;
+          Check.Report.status_name c.Check.Report.status;
+          string_of_int c.Check.Report.checked;
+          string_of_int (List.length c.Check.Report.violations);
+        ])
+    report.Check.Report.certificates;
+  Util.Table.print t;
+  let checks =
+    List.fold_left
+      (fun acc (c : Check.Report.certificate) -> acc + c.Check.Report.checked)
+      0 report.Check.Report.certificates
+  in
+  Bench_common.note "n = %d: %d checks in %.2f s CPU (%s), status %s" n checks dt
+    (if dt > 0.0 then Printf.sprintf "%.0f checks/s" (float_of_int checks /. dt)
+     else "instant")
+    (Check.Report.status_name (Check.Report.status report));
+  report
+
+let run () =
+  Bench_common.section "GUARANTEE AUDITOR — certifying the paper's claims on live runs";
+  Bench_common.subsection "audit suite, smoke size";
+  let _ = run_suite ~n:36 ~seed:11 in
+  Bench_common.subsection "audit suite, CI size";
+  let report = run_suite ~n:60 ~seed:12 in
+  let path =
+    Telemetry.Export.write_artifact ~name:"BENCH_check.json"
+      (Check.Report.to_json report)
+  in
+  Bench_common.note "wrote %s" path

@@ -20,6 +20,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("ablation", "Ablations: k-shortcut trade-off, search strategies", Bench_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
     ("perf", "Engine/APSP hot-path trajectory (BENCH_engine.json)", Bench_perf.run);
+    ("check", "Guarantee auditor over live engine streams", Bench_check.run);
   ]
 
 let () =

@@ -509,7 +509,21 @@ let stored_failures store =
          | Error _ -> true)
        (Harness.Store.rows store))
 
-let sweep_run jobs spec_file builtin store_override max_jobs =
+(* Audit a sweep's checkpoint rows through the guarantee auditor and
+   print/export the certificate. Shared by `sweep run --audit` and
+   `check sweep`. *)
+let audit_sweep_store (spec : Harness.Spec.t) store =
+  let report = Check.Suite.sweep_report spec store in
+  List.iter
+    (Format.printf "%a@." Check.Report.pp_certificate)
+    report.Check.Report.certificates;
+  Printf.printf "wrote %s\n"
+    (Telemetry.Export.write_artifact
+       ~name:(spec.Harness.Spec.name ^ ".check.json")
+       (Check.Report.to_json report));
+  Check.Report.exit_code report
+
+let sweep_run jobs spec_file builtin store_override max_jobs audit =
   set_jobs jobs;
   match load_spec spec_file builtin with
   | Error m -> sweep_error m
@@ -529,6 +543,7 @@ let sweep_run jobs spec_file builtin store_override max_jobs =
       (Telemetry.Export.write_artifact
          ~name:(spec.Harness.Spec.name ^ ".sweep.json")
          report);
+    let audit_rc = if audit then audit_sweep_store spec store else 0 in
     let failures = stored_failures store in
     if Harness.Store.count store < total then begin
       Printf.printf "%d job(s) still pending — rerun `sweep run` to resume\n"
@@ -539,6 +554,10 @@ let sweep_run jobs spec_file builtin store_override max_jobs =
       Printf.eprintf "qcongest sweep: %d of %d jobs failed (see the report artifact)\n"
         failures total;
       1
+    end
+    else if audit_rc <> 0 then begin
+      Printf.eprintf "qcongest sweep: checkpoint audit did not certify (exit %d)\n" audit_rc;
+      audit_rc
     end
     else 0
 
@@ -629,8 +648,19 @@ let sweep_cmd =
             "Evaluate the gates against a synthetic mis-scaled series instead of the store; a \
              healthy gate exits 3. Verifies the gate can fail.")
   in
+  let audit_arg =
+    Arg.(
+      value & flag
+      & info [ "audit" ]
+          ~doc:
+            "After the sweep completes, re-certify every checkpointed row against a recomputed \
+             oracle (the $(b,check sweep) auditor); a violated row makes the command exit \
+             non-zero.")
+  in
   let run_term =
-    Term.(const sweep_run $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ max_jobs_arg)
+    Term.(
+      const sweep_run $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ max_jobs_arg
+      $ audit_arg)
   in
   let run_cmd =
     Cmd.v
@@ -668,6 +698,139 @@ let sweep_cmd =
           and gate empirical scaling exponents against Table 1 predictions.")
     [ run_cmd; resume_cmd; report_cmd; gate_cmd ]
 
+(* ------------------------------ check ------------------------------ *)
+
+let check_run only seed n trials h negative_control artifacts =
+  let cfg =
+    {
+      Check.Suite.seed;
+      n;
+      trials;
+      h;
+      negative_control;
+      only;
+    }
+  in
+  match Check.Suite.run cfg with
+  | exception Invalid_argument msg ->
+    Printf.eprintf "qcongest check: %s\n" msg;
+    2
+  | report ->
+    List.iter
+      (Format.printf "%a@." Check.Report.pp_certificate)
+      report.Check.Report.certificates;
+    let name = if negative_control then "check.negative.json" else "check.report.json" in
+    Printf.printf "wrote %s\n"
+      (Telemetry.Export.write_artifact ?dir:artifacts ~name (Check.Report.to_json report));
+    Printf.printf "check: %s\n"
+      (Check.Report.status_name (Check.Report.status report));
+    Check.Report.exit_code report
+
+let check_sweep spec_file builtin store_override =
+  match load_spec spec_file builtin with
+  | Error m ->
+    Printf.eprintf "qcongest check: %s\n" m;
+    2
+  | Ok spec -> audit_sweep_store spec (load_store spec store_override)
+
+let check_cmd =
+  let only_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "only" ] ~docv:"NAME"
+          ~doc:
+            "Run only this certifier (repeatable): congest, approx, gadget, determinism or \
+             amplify. Default: all.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed of the audited instances.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Instance size for the graph-based certifiers.")
+  in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"T"
+          ~doc:
+            "Sampling budget of the amplification audit. Below 30 the frequency interval is \
+             meaningless, so the certificate comes back inconclusive (exit 3).")
+  in
+  let h_arg =
+    Arg.(value & opt int 2 & info [ "height" ] ~docv:"H" ~doc:"Gadget height (even, >= 2).")
+  in
+  let negative_arg =
+    Arg.(
+      value & flag
+      & info [ "negative-control" ]
+          ~doc:
+            "Arm every selected certifier's sabotage path (injected non-edge message, tampered \
+             estimate, negated gadget classification, shifted permuted diameter, unamplified \
+             sampling). A sound auditor must exit 1.")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "Output directory for the report artifact. Defaults to $(b,ARTIFACTS_DIR), then \
+             $(b,bench_artifacts).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE" ~doc:"Sweep spec JSON file (overrides $(b,--builtin)).")
+  in
+  let builtin_arg =
+    Arg.(
+      value & opt string "ci-smoke"
+      & info [ "builtin" ] ~docv:"NAME"
+          ~doc:"Built-in spec: ci-smoke, thm11-scaling or table1-measured.")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint store to audit. Defaults to \
+             $(i,ARTIFACTS_DIR)/$(i,spec-name).jsonl.")
+  in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:
+           "Run the guarantee auditor over built-in instances: CONGEST legality of a real event \
+            stream, Theorem 1.1 / 3-halves approximation ratios against a recomputed oracle, \
+            Table 2 gadget distances, seeded determinism and scheduler-permutation invariance, \
+            and Lemma 3.1 amplification frequencies. Exits 0 when everything is certified, 1 on \
+            a violation, 3 when inconclusive.")
+      Term.(
+        const check_run $ only_arg $ seed_arg $ n_arg $ trials_arg $ h_arg $ negative_arg
+        $ artifacts_arg)
+  in
+  let sweep_cmd =
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:
+           "Re-certify a sweep checkpoint store row by row: rebuild each job's instance, \
+            recompute its exact oracle and cross-check the stored n_actual/exact/ratio/within \
+            fields. Exits 1 on a violated row, 3 when the store has no auditable rows.")
+      Term.(const check_sweep $ spec_arg $ builtin_arg $ store_arg)
+  in
+  Cmd.group
+    (Cmd.info "check"
+       ~doc:
+         "Guarantee auditor: certify the paper's claims (CONGEST legality, approximation \
+          ratios, gadget distance structure, determinism, amplification) on concrete runs, \
+          with machine-readable violation reports.")
+    [ run_cmd; sweep_cmd ]
+
 let () =
   let info =
     Cmd.info "qcongest"
@@ -679,4 +842,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; faults_cmd;
-            trace_cmd; params_cmd; sweep_cmd ]))
+            trace_cmd; params_cmd; sweep_cmd; check_cmd ]))

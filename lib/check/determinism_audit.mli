@@ -1,0 +1,25 @@
+(** Determinism and scheduler-permutation audit.
+
+    Two properties every result in this repo leans on:
+
+    - {b Replayability}: the whole stack is seeded, so the same seed
+      must reproduce the same result bit-for-bit (re-running the
+      Theorem 1.1 pipeline twice from one seed).
+    - {b Schedule independence}: the engine processes nodes in
+      increasing id within a round, so relabeling the nodes by a
+      seeded permutation genuinely permutes the scheduler's evaluation
+      order. Value-level outputs of the deterministic protocols — BFS
+      levels and depth, the token-flood exact APSP diameter, the exact
+      oracle — must be invariant under that relabeling (tie-breaks may
+      pick different witnesses; values may not move).
+
+    Violation codes: [rerun-mismatch] and [permutation-mismatch]. *)
+
+val certify : ?tamper:bool -> Graphlib.Wgraph.t -> seed:int -> Report.certificate
+(** Requires a connected graph with at least 2 nodes. [?tamper] is the
+    negative control: the permuted run's diameter is shifted by one
+    before comparison, which the audit must reject. *)
+
+val permute : Graphlib.Wgraph.t -> seed:int -> Graphlib.Wgraph.t * int array
+(** The relabeled graph and the permutation [pi] used ([new id =
+    pi.(old id)]); exposed for tests. *)

@@ -1,0 +1,122 @@
+module J = Telemetry.Tjson
+module Hjson = Harness.Hjson
+module Spec = Harness.Spec
+
+let claim =
+  "every ok sweep row matches a recomputed oracle: the instance, its exact \
+   diameter/radius, the stored ratio, and the algorithm's own guarantee flag"
+
+let expected_exact (spec : Spec.t) (j : Spec.job) =
+  let g = Harness.Runner.make_graph spec ~n:j.Spec.n ~seed:j.Spec.seed in
+  match j.Spec.algo with
+  | Spec.Thm11_diameter | Spec.Classical_diameter | Spec.Approx_apsp
+  | Spec.Sssp_two_approx ->
+    Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter g)
+  | Spec.Thm11_radius | Spec.Classical_radius ->
+    Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_radius g)
+  | Spec.Lm_unweighted | Spec.Three_halves ->
+    Graphlib.Dist.to_int_exn
+      (Graphlib.Bfs.diameter (Graphlib.Wgraph.with_unit_weights g))
+  | Spec.Bfs_reliable -> (fst (Congest.Tree.build g ~root:0)).Congest.Tree.depth
+
+let field v name get = Option.bind (Hjson.member name v) get
+
+let audit_ok_row (spec : Spec.t) (j : Spec.job) v =
+  let violations = ref [] in
+  let flag code detail data =
+    violations := Report.violation ~code detail ~data :: !violations
+  in
+  let ctx =
+    [ ("id", J.str j.Spec.id); ("algo", J.str (Spec.algo_name j.Spec.algo));
+      ("n", J.int j.Spec.n); ("seed", J.int j.Spec.seed) ]
+  in
+  (match
+     ( field v "n_actual" Hjson.to_int_opt,
+       field v "estimate" Hjson.to_float_opt,
+       field v "exact" Hjson.to_int_opt,
+       field v "ratio" Hjson.to_float_opt,
+       field v "within" Hjson.to_bool_opt )
+   with
+  | Some n_actual, Some estimate, Some exact, Some ratio, Some within ->
+    let g = Harness.Runner.make_graph spec ~n:j.Spec.n ~seed:j.Spec.seed in
+    if n_actual <> Graphlib.Wgraph.n g then
+      flag "wrong-instance"
+        (Printf.sprintf "row %s: stored n_actual=%d but the rebuilt instance has n=%d"
+           j.Spec.id n_actual (Graphlib.Wgraph.n g))
+        (ctx
+        @ [ ("n_actual", J.int n_actual); ("rebuilt_n", J.int (Graphlib.Wgraph.n g)) ]);
+    let oracle = expected_exact spec j in
+    if exact <> oracle then
+      flag "oracle-mismatch"
+        (Printf.sprintf "row %s (%s): stored exact=%d but recomputed oracle=%d"
+           j.Spec.id (Spec.algo_name j.Spec.algo) exact oracle)
+        (ctx @ [ ("stored_exact", J.int exact); ("oracle", J.int oracle) ]);
+    let expect_ratio =
+      if exact = 0 then 0.0 else estimate /. float_of_int exact
+    in
+    if Float.abs (ratio -. expect_ratio) > 1e-6 *. Float.max 1.0 (Float.abs expect_ratio)
+    then
+      flag "ratio-drift"
+        (Printf.sprintf "row %s: stored ratio=%.6f but estimate/exact=%.6f" j.Spec.id
+           ratio expect_ratio)
+        (ctx @ [ ("stored_ratio", J.float ratio); ("recomputed", J.float expect_ratio) ]);
+    if not within then
+      flag "guarantee"
+        (Printf.sprintf "row %s (%s): the run itself recorded a violated guarantee"
+           j.Spec.id (Spec.algo_name j.Spec.algo))
+        (ctx @ [ ("estimate", J.float estimate); ("exact", J.int exact) ])
+  | _ ->
+    flag "corrupt-row"
+      (Printf.sprintf "row %s: missing or mistyped field among n_actual/estimate/exact/ratio/within"
+         j.Spec.id)
+      ctx);
+  List.rev !violations
+
+let audit_row (spec : Spec.t) (j : Spec.job) raw =
+  match Hjson.parse raw with
+  | Error msg ->
+    [ Report.violation ~code:"corrupt-row"
+        (Printf.sprintf "row %s: unparseable JSON (%s)" j.Spec.id msg)
+        ~data:[ ("id", J.str j.Spec.id) ] ]
+  | Ok v -> (
+    match field v "status" Hjson.to_string_opt with
+    | Some "ok" -> audit_ok_row spec j v
+    | Some _ -> [] (* failed rows are the sweep's own report's business *)
+    | None ->
+      [ Report.violation ~code:"corrupt-row"
+          (Printf.sprintf "row %s: missing status field" j.Spec.id)
+          ~data:[ ("id", J.str j.Spec.id) ] ])
+
+let audit_store (spec : Spec.t) store =
+  let jobs = Spec.jobs spec in
+  let checked = ref 0 and skipped = ref 0 and violations = ref [] in
+  List.iter
+    (fun (j : Spec.job) ->
+      match Harness.Store.find store j.Spec.id with
+      | None -> ()
+      | Some raw ->
+        (* Count failed/skipped rows separately so a store of pure
+           failures stays Inconclusive rather than silently Pass. *)
+        let vs = audit_row spec j raw in
+        let is_skip =
+          vs = []
+          &&
+          match Hjson.parse raw with
+          | Ok v -> field v "status" Hjson.to_string_opt <> Some "ok"
+          | Error _ -> false
+        in
+        if is_skip then incr skipped
+        else begin
+          incr checked;
+          violations := !violations @ vs
+        end)
+    jobs;
+  let notes =
+    [
+      ("spec", J.str spec.Spec.name);
+      ("jobs", J.int (List.length jobs));
+      ("rows_audited", J.int !checked);
+      ("rows_skipped", J.int !skipped);
+    ]
+  in
+  Report.certificate ~name:"sweep-rows" ~claim ~checked:!checked ~notes !violations

@@ -1,0 +1,31 @@
+(** Checkpoint-row auditor: re-certify a sweep's stored results.
+
+    A sweep row asserts four things: which instance it ran on, what
+    ground truth that instance has, how far the estimate sat from it,
+    and that the algorithm's guarantee held. The first three are
+    recomputable — the instance is a pure function of the spec cell —
+    so this auditor rebuilds each row's graph, recomputes the exact
+    oracle (weighted or unweighted, per algorithm), and cross-checks
+    every stored field. It is what [qcongest check sweep] and
+    [qcongest sweep run --audit] run over a store, turning the
+    checkpoint file from trusted cache into certified evidence.
+
+    Violation codes: [corrupt-row] (unparseable or shape-broken JSON),
+    [wrong-instance] (stored [n_actual] differs from the rebuilt
+    graph), [oracle-mismatch] (stored [exact] differs from the
+    recomputed oracle), [ratio-drift] (stored [ratio] is not
+    [estimate/exact]), and [guarantee] (the row itself records a
+    violated guarantee, [within = false]). Failed rows are skipped
+    (noted, not violations — the sweep already reports them); a store
+    with no auditable rows yields [Inconclusive]. *)
+
+val expected_exact : Harness.Spec.t -> Harness.Spec.job -> int
+(** The recomputed ground truth for a job cell: weighted
+    diameter/radius for the weighted algorithms, unweighted diameter
+    for the unweighted ones, fault-free BFS depth for
+    [Bfs_reliable]. *)
+
+val audit_row : Harness.Spec.t -> Harness.Spec.job -> string -> Report.violation list
+(** Audit one raw checkpoint row (empty list = clean). *)
+
+val audit_store : Harness.Spec.t -> Harness.Store.t -> Report.certificate

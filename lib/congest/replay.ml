@@ -57,6 +57,15 @@ let close_seg s =
     crashed = s.crashed;
   }
 
+let segments events =
+  let rec go cur acc = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | E.Run_start _ as ev :: rest ->
+      go [ ev ] (if cur = [] then acc else List.rev cur :: acc) rest
+    | ev :: rest -> go (ev :: cur) acc rest
+  in
+  go [] [] events
+
 let trace_of_events ?(bandwidth = 1) events =
   let segments = ref [] in
   let cur = ref (fresh_seg bandwidth) in

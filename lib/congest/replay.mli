@@ -7,6 +7,14 @@
     property test. If the two ever disagree, either the engine stopped
     emitting an event it must, or the schema's meaning drifted. *)
 
+val segments : Telemetry.Events.t list -> Telemetry.Events.t list list
+(** Split a stream into its engine-execution segments: a new segment
+    opens at every [Run_start]; events preceding the first [Run_start]
+    (span markers from multi-phase drivers) form a leading segment of
+    their own when present. Concatenating the result gives back the
+    input. The per-segment view is what [Check.Congest_audit] iterates
+    over to hold each execution to its own declared bandwidth. *)
+
 val trace_of_events : ?bandwidth:int -> Telemetry.Events.t list -> Engine.trace
 (** Replay a stream and return the trace it implies.
 

@@ -18,6 +18,8 @@ let mass t ~marked =
 let success_probability t ~marked ~iterations =
   Qsim.Grover.success_probability_closed_form ~rho:(mass t ~marked) ~iterations
 
+let optimal_iterations t ~marked = Qsim.Grover.optimal_iterations ~rho:(mass t ~marked)
+
 let sample_conditional t ~rng ~pred ~total =
   (* Sample ∝ w restricted to [pred]; [total] is the predicate's mass. *)
   let r = Util.Rng.float rng total in

@@ -29,6 +29,11 @@ val mass : t -> marked:(int -> bool) -> float
 
 val success_probability : t -> marked:(int -> bool) -> iterations:int -> float
 
+val optimal_iterations : t -> marked:(int -> bool) -> int
+(** {!Qsim.Grover.optimal_iterations} at this space's marked mass —
+    the iteration count whose closed-form success probability the
+    amplification audit holds empirical frequencies against. *)
+
 val sample : t -> rng:Util.Rng.t -> int
 (** Born sample from the bare superposition ([j = 0]). *)
 

@@ -192,8 +192,15 @@ let member key = function
 let to_string_opt = function Str s -> Some s | _ -> None
 let to_float_opt = function Num f -> Some f | _ -> None
 
+(* Float64 represents every integer exactly only below 2^53: a numeral
+   in (2^53, 1e18] parses to a *rounded* float whose [int_of_float] is
+   a wrong-but-plausible integer. Refuse the ambiguous range (2^53
+   itself is the image of 2^53 + 1 too, so the bound is strict). *)
+let max_exact_int_float = 9007199254740992.0 (* 2^53 *)
+
 let to_int_opt = function
-  | Num f when Float.is_integer f && Float.abs f <= 1e18 -> Some (int_of_float f)
+  | Num f when Float.is_integer f && Float.abs f < max_exact_int_float ->
+    Some (int_of_float f)
   | _ -> None
 
 let to_bool_opt = function Bool b -> Some b | _ -> None

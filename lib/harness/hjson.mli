@@ -32,7 +32,11 @@ val to_string_opt : t -> string option
 val to_float_opt : t -> float option
 
 val to_int_opt : t -> int option
-(** [Num f] when [f] is integral and in [int] range. *)
+(** [Num f] when [f] is integral and exactly representable, i.e.
+    [|f| < 2^53]. Beyond that a float64 numeral no longer determines a
+    unique integer (e.g. [2^53] and [2^53 + 1] parse to the same
+    float), so [None] is returned instead of a silently rounded
+    value. *)
 
 val to_bool_opt : t -> bool option
 val to_list_opt : t -> t list option

@@ -19,7 +19,11 @@ let int = string_of_int
 
 let float f =
   if not (Float.is_finite f) then "0"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    (* Every integer below 2^53 is exactly representable, so print all
+       of its digits — at the old 1e15 cutoff, ids and counters in
+       [1e15, 2^53) silently lost precision through %.9g. *)
+  else if Float.is_integer f && Float.abs f < 9007199254740992.0 then
+    Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
 let bool = string_of_bool

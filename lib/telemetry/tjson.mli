@@ -10,8 +10,10 @@ val str : string -> string
 val int : int -> string
 
 val float : float -> string
-(** Finite floats render with enough digits to round-trip; NaN and
-    infinities (not representable in JSON) render as [0]. *)
+(** Finite floats render with enough digits to round-trip: integral
+    values below 2^53 (the float64 exactness bound) print with every
+    digit, the rest at [%.9g]. NaN and infinities (not representable
+    in JSON) render as [0]. *)
 
 val bool : bool -> string
 

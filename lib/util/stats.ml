@@ -2,17 +2,36 @@ let mean = function
   | [] -> invalid_arg "Stats.mean"
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let stddev = function
+(* Population variance (divide by n). [stddev_sample] applies Bessel's
+   correction; which one a caller wants is part of its contract — see
+   the .mli. *)
+let variance_population = function
   | [] -> invalid_arg "Stats.stddev"
   | [ _ ] -> 0.0
   | xs ->
     let m = mean xs in
-    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
-    sqrt var
+    mean (List.map (fun x -> (x -. m) ** 2.0) xs)
 
-let sorted xs = List.sort compare xs
+let stddev xs = sqrt (variance_population xs)
+
+let stddev_sample = function
+  | [] -> invalid_arg "Stats.stddev_sample"
+  | [ _ ] -> 0.0
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    sqrt (variance_population xs *. n /. (n -. 1.0))
+
+(* [Float.compare], not polymorphic [compare]: the generic comparator
+   boxes every float comparison and, worse, its NaN ordering depends on
+   the representation — a NaN in the middle of a rank-statistic input
+   would silently shift every quantile. *)
+let sorted xs = List.sort Float.compare xs
+
+let reject_nan name xs =
+  if List.exists Float.is_nan xs then invalid_arg (name ^ ": NaN input")
 
 let median xs =
+  reject_nan "Stats.median" xs;
   match sorted xs with
   | [] -> invalid_arg "Stats.median"
   | s ->
@@ -21,7 +40,8 @@ let median xs =
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 let percentile xs ~p =
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  if Float.is_nan p || p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  reject_nan "Stats.percentile" xs;
   match sorted xs with
   | [] -> invalid_arg "Stats.percentile"
   | s ->
@@ -30,8 +50,13 @@ let percentile xs ~p =
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     a.(Int_math.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
 
-let minf = function [] -> invalid_arg "Stats.minf" | x :: r -> List.fold_left min x r
-let maxf = function [] -> invalid_arg "Stats.maxf" | x :: r -> List.fold_left max x r
+let minf = function
+  | [] -> invalid_arg "Stats.minf"
+  | x :: r -> List.fold_left (fun a b -> if Float.compare b a < 0 then b else a) x r
+
+let maxf = function
+  | [] -> invalid_arg "Stats.maxf"
+  | x :: r -> List.fold_left (fun a b -> if Float.compare b a > 0 then b else a) x r
 
 type fit = { slope : float; intercept : float; r2 : float }
 

@@ -8,15 +8,36 @@ val mean : float list -> float
 (** Raises [Invalid_argument] on the empty list. *)
 
 val stddev : float list -> float
-(** Population standard deviation; 0 for singleton lists. *)
+(** {e Population} standard deviation (divide by [n]); 0 for singleton
+    lists. This is a deliberate choice: callers summarize a complete
+    set of measured runs, not a sample of a larger population
+    ([Harness.Fit]'s bootstrap confidence intervals use
+    {!percentile} over resampled slopes, not this). For an unbiased
+    estimate of a parent population's variance use
+    {!stddev_sample}. *)
+
+val stddev_sample : float list -> float
+(** Sample standard deviation with Bessel's correction (divide by
+    [n-1]); 0 for singleton lists. *)
 
 val median : float list -> float
+(** Raises [Invalid_argument] on the empty list or any NaN input — a
+    NaN has no rank, so it would otherwise shift the result by an
+    ordering accident. *)
 
 val percentile : float list -> p:float -> float
-(** Nearest-rank percentile, [p] in [[0, 100]]. *)
+(** Nearest-rank percentile, [p] in [[0, 100]] ([p = 0] is the
+    minimum, [p = 100] the maximum). Rejects NaN inputs and NaN [p]
+    like {!median}. Sorting uses [Float.compare] (total IEEE order),
+    never the polymorphic comparator. *)
 
 val minf : float list -> float
 val maxf : float list -> float
+(** Extremes by [Float.compare]'s total IEEE order, in which NaN is
+    below every real: [maxf] over a mixed list is the real maximum,
+    while [minf] surfaces a NaN if one is present (it does not get
+    masked, unlike under the old polymorphic comparator whose NaN
+    placement was representation-dependent). *)
 
 type fit = { slope : float; intercept : float; r2 : float }
 

@@ -1,0 +1,327 @@
+(* Tests for lib/check: the report algebra and exit-code contract,
+   every certifier's positive path on a healthy instance, and every
+   certifier's negative control (the proof each one can reject). *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let graph ~seed =
+  Graphlib.Gen.cliques_cycle ~cliques:3 ~clique_size:4
+    ~weighting:(Graphlib.Gen.Uniform { max_w = 8 })
+    ~rng:(Util.Rng.create ~seed)
+
+let has_code code (c : Check.Report.certificate) =
+  List.exists (fun (v : Check.Report.violation) -> v.Check.Report.code = code)
+    c.Check.Report.violations
+
+let status =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Check.Report.status_name s))
+    (fun a b -> a = b)
+
+(* ------------------------------ report ----------------------------- *)
+
+let test_report_status () =
+  let pass = Check.Report.certificate ~name:"a" ~claim:"c" ~checked:1 [] in
+  let fail =
+    Check.Report.certificate ~name:"b" ~claim:"c" ~checked:1
+      [ Check.Report.violation ~code:"x" "boom" ]
+  in
+  let inconclusive = Check.Report.certificate ~name:"d" ~claim:"c" ~checked:0 [] in
+  Alcotest.check status "pass" Check.Report.Pass pass.Check.Report.status;
+  Alcotest.check status "fail" Check.Report.Fail fail.Check.Report.status;
+  Alcotest.check status "inconclusive" Check.Report.Inconclusive
+    inconclusive.Check.Report.status;
+  (* A violation dominates even with checked = 0. *)
+  let failed_empty = Check.Report.certificate ~name:"e" ~claim:"c" ~checked:0
+      [ Check.Report.violation ~code:"x" "boom" ] in
+  Alcotest.check status "fail at checked=0" Check.Report.Fail
+    failed_empty.Check.Report.status;
+  check "exit pass" 0 (Check.Report.exit_code { Check.Report.certificates = [ pass ] });
+  check "exit fail" 1
+    (Check.Report.exit_code { Check.Report.certificates = [ pass; fail ] });
+  check "exit inconclusive" 3
+    (Check.Report.exit_code { Check.Report.certificates = [ pass; inconclusive ] });
+  check "fail beats inconclusive" 1
+    (Check.Report.exit_code { Check.Report.certificates = [ inconclusive; fail ] });
+  check "empty report inconclusive" 3
+    (Check.Report.exit_code { Check.Report.certificates = [] })
+
+let test_report_json () =
+  let report =
+    {
+      Check.Report.certificates =
+        [
+          Check.Report.certificate ~name:"a" ~claim:"the claim" ~checked:2
+            ~notes:[ ("n", "5") ]
+            [ Check.Report.violation ~code:"x" "boom" ~data:[ ("k", "1") ] ];
+        ];
+    }
+  in
+  let v = Harness.Hjson.parse_exn (Check.Report.to_json report) in
+  let member f = Harness.Hjson.member f v in
+  checkb "schema" true (member "schema" = Some (Harness.Hjson.Str "qcongest-check/v1"));
+  checkb "pass" true (member "pass" = Some (Harness.Hjson.Bool false));
+  checks "status" "fail"
+    (Option.get (Option.bind (member "status") Harness.Hjson.to_string_opt));
+  let certs = Option.get (Option.bind (member "certificates") Harness.Hjson.to_list_opt) in
+  check "one certificate" 1 (List.length certs);
+  let c = List.hd certs in
+  let vs =
+    Option.get (Option.bind (Harness.Hjson.member "violations" c) Harness.Hjson.to_list_opt)
+  in
+  check "one violation" 1 (List.length vs);
+  checkb "violation code" true
+    (Harness.Hjson.member "code" (List.hd vs) = Some (Harness.Hjson.Str "x"))
+
+(* ----------------------------- congest ----------------------------- *)
+
+let collect_tree g =
+  let sink, drain = Telemetry.Events.collector () in
+  let _tree, trace = Congest.Tree.build g ~root:0 ~sink in
+  (trace, drain ())
+
+let test_congest_clean () =
+  let g = graph ~seed:3 in
+  let trace, events = collect_tree g in
+  let c = Check.Congest_audit.audit_events ~trace ~graph:g events in
+  Alcotest.check status "clean stream passes" Check.Report.Pass c.Check.Report.status
+
+let test_congest_non_edge () =
+  let g = graph ~seed:3 in
+  let trace, events = collect_tree g in
+  (* Nodes 0 and 6 live in different cliques of the 3-cycle with only
+     border nodes linked; a self-message is illegal regardless. *)
+  let forged = events @ [ Telemetry.Events.Message { round = 1; src = 0; dst = 0; words = 1 } ] in
+  let c = Check.Congest_audit.audit_events ~trace ~graph:g forged in
+  Alcotest.check status "forged message fails" Check.Report.Fail c.Check.Report.status;
+  checkb "non-edge-message reported" true (has_code "non-edge-message" c);
+  checkb "replay mismatch reported" true (has_code "replay-mismatch" c)
+
+let test_congest_overload () =
+  let g = graph ~seed:4 in
+  let _trace, events = collect_tree g in
+  (* Find a real message and duplicate it far beyond any bandwidth. *)
+  let dup =
+    List.find_map
+      (function
+        | Telemetry.Events.Message m -> Some (Telemetry.Events.Message { m with words = 10_000 })
+        | _ -> None)
+      events
+  in
+  let c =
+    Check.Congest_audit.audit_events ~graph:g (events @ [ Option.get dup ])
+  in
+  checkb "edge overload reported" true (has_code "edge-overload" c)
+
+let test_congest_inconclusive () =
+  let g = graph ~seed:3 in
+  let c = Check.Congest_audit.audit_events ~graph:g [] in
+  Alcotest.check status "empty stream inconclusive" Check.Report.Inconclusive
+    c.Check.Report.status
+
+(* ------------------------------ approx ----------------------------- *)
+
+let test_approx_thm11 () =
+  let g = graph ~seed:5 in
+  let ok =
+    Check.Approx_audit.thm11 g Core.Algorithm.Diameter ~rng:(Util.Rng.create ~seed:6)
+  in
+  Alcotest.check status "healthy run certifies" Check.Report.Pass ok.Check.Report.status;
+  let bad =
+    Check.Approx_audit.thm11 ~tamper:10.0 g Core.Algorithm.Diameter
+      ~rng:(Util.Rng.create ~seed:6)
+  in
+  Alcotest.check status "tampered estimate fails" Check.Report.Fail bad.Check.Report.status;
+  checkb "ratio-bound reported" true (has_code "ratio-bound" bad)
+
+let test_approx_three_halves () =
+  let g = graph ~seed:7 in
+  let ok = Check.Approx_audit.three_halves g ~rng:(Util.Rng.create ~seed:8) in
+  Alcotest.check status "baseline certifies" Check.Report.Pass ok.Check.Report.status;
+  let bad = Check.Approx_audit.three_halves ~tamper:10.0 g ~rng:(Util.Rng.create ~seed:8) in
+  Alcotest.check status "tampered baseline fails" Check.Report.Fail bad.Check.Report.status
+
+(* ------------------------------ gadget ----------------------------- *)
+
+let test_gadget () =
+  let ok = Check.Gadget_audit.certify ~seed:9 () in
+  Alcotest.check status "gadget certifies" Check.Report.Pass ok.Check.Report.status;
+  let bad = Check.Gadget_audit.certify ~flip_f:true ~seed:9 () in
+  Alcotest.check status "misclassified instance fails" Check.Report.Fail
+    bad.Check.Report.status;
+  checkb "gap violation reported" true (has_code "gap" bad)
+
+(* ---------------------------- determinism --------------------------- *)
+
+(* The pinned determinism-audit regression: same seed twice is
+   bit-identical, and value-level outputs are invariant under a seeded
+   relabeling of the node ids (i.e. of the scheduler's within-round
+   evaluation order). *)
+let test_determinism () =
+  let g = graph ~seed:10 in
+  let ok = Check.Determinism_audit.certify g ~seed:11 in
+  Alcotest.check status "deterministic stack certifies" Check.Report.Pass
+    ok.Check.Report.status;
+  let bad = Check.Determinism_audit.certify ~tamper:true g ~seed:11 in
+  Alcotest.check status "shifted permuted diameter fails" Check.Report.Fail
+    bad.Check.Report.status;
+  checkb "permutation-mismatch reported" true (has_code "permutation-mismatch" bad)
+
+let test_permute_preserves_graph () =
+  let g = graph ~seed:12 in
+  let g', pi = Check.Determinism_audit.permute g ~seed:13 in
+  check "same n" (Graphlib.Wgraph.n g) (Graphlib.Wgraph.n g');
+  check "same m" (Graphlib.Wgraph.m g) (Graphlib.Wgraph.m g');
+  (* pi is a permutation: sorted image = identity. *)
+  let image = Array.copy pi in
+  Array.sort compare image;
+  checkb "pi is a permutation" true
+    (Array.to_list image = List.init (Graphlib.Wgraph.n g) Fun.id);
+  (* Edge weights carried through the relabeling. *)
+  List.iter
+    (fun (e : Graphlib.Wgraph.edge) ->
+      checkb "edge survives" true
+        (Graphlib.Wgraph.weight g' pi.(e.Graphlib.Wgraph.u) pi.(e.Graphlib.Wgraph.v)
+        = Some e.Graphlib.Wgraph.w))
+    (Graphlib.Wgraph.edges g)
+
+(* ----------------------------- amplify ----------------------------- *)
+
+let test_amplify () =
+  let ok = Check.Amplify_audit.certify ~trials:100 ~seed:14 () in
+  Alcotest.check status "amplification certifies" Check.Report.Pass ok.Check.Report.status;
+  let bad = Check.Amplify_audit.certify ~trials:100 ~sabotage:true ~seed:14 () in
+  Alcotest.check status "unamplified sampling fails" Check.Report.Fail
+    bad.Check.Report.status;
+  checkb "frequency violation reported" true (has_code "frequency" bad);
+  let none = Check.Amplify_audit.certify ~trials:0 ~seed:14 () in
+  Alcotest.check status "zero trials inconclusive" Check.Report.Inconclusive
+    none.Check.Report.status
+
+(* ------------------------------ sweep ------------------------------ *)
+
+let sweep_spec =
+  Harness.Spec.make ~name:"check-test"
+    ~algos:[ Harness.Spec.Classical_diameter; Harness.Spec.Three_halves ]
+    ~family:(Harness.Spec.Ring { cliques = 3 })
+    ~sizes:[ 12 ] ~seeds:[ 1 ] ()
+
+let temp_store () =
+  let path = Filename.temp_file "qcongest_check" ".jsonl" in
+  Sys.remove path;
+  Harness.Store.load ~path
+
+let test_sweep_audit () =
+  let store = temp_store () in
+  let _executed, failed = Harness.Runner.run sweep_spec store in
+  check "no failed jobs" 0 failed;
+  let c = Check.Sweep_audit.audit_store sweep_spec store in
+  Alcotest.check status "fresh store certifies" Check.Report.Pass c.Check.Report.status;
+  check "both rows audited" 2 c.Check.Report.checked;
+  (* Tamper: copy the rows into a new store with one exact field bent. *)
+  let bend_exact row =
+    let key = "\"exact\":" in
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length row then None
+      else if String.sub row i klen = key then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> row
+    | Some i ->
+      let j = ref (i + klen) in
+      while
+        !j < String.length row
+        && (match row.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr j
+      done;
+      String.sub row 0 i ^ key ^ "99999" ^ String.sub row !j (String.length row - !j)
+  in
+  let tampered = temp_store () in
+  List.iter
+    (fun (id, row) -> Harness.Store.append tampered ~id (bend_exact row))
+    (Harness.Store.rows store);
+  let bad = Check.Sweep_audit.audit_store sweep_spec tampered in
+  Alcotest.check status "bent rows fail" Check.Report.Fail bad.Check.Report.status;
+  checkb "oracle-mismatch reported" true (has_code "oracle-mismatch" bad);
+  (* Empty store: nothing to certify. *)
+  let empty = temp_store () in
+  let none = Check.Sweep_audit.audit_store sweep_spec empty in
+  Alcotest.check status "empty store inconclusive" Check.Report.Inconclusive
+    none.Check.Report.status;
+  List.iter (fun s -> try Sys.remove (Harness.Store.path s) with Sys_error _ -> ())
+    [ store; tampered; empty ]
+
+let test_expected_exact_matches_rows () =
+  (* The auditor's oracle table must agree with what the runner itself
+     stores — otherwise every audit would be vacuously red. *)
+  let store = temp_store () in
+  let _ = Harness.Runner.run sweep_spec store in
+  List.iter
+    (fun (j : Harness.Spec.job) ->
+      let row = Option.get (Harness.Store.find store j.Harness.Spec.id) in
+      let v = Harness.Hjson.parse_exn row in
+      let stored =
+        Option.get
+          (Option.bind (Harness.Hjson.member "exact" v) Harness.Hjson.to_int_opt)
+      in
+      check
+        (Printf.sprintf "oracle agrees for %s" (Harness.Spec.algo_name j.Harness.Spec.algo))
+        stored
+        (Check.Sweep_audit.expected_exact sweep_spec j))
+    (Harness.Spec.jobs sweep_spec);
+  (try Sys.remove (Harness.Store.path store) with Sys_error _ -> ())
+
+(* ------------------------------ suite ------------------------------ *)
+
+let test_suite_selection () =
+  let report =
+    Check.Suite.run { Check.Suite.default with Check.Suite.only = [ "gadget" ] }
+  in
+  check "one certificate" 1 (List.length report.Check.Report.certificates);
+  Alcotest.check_raises "unknown certifier"
+    (Invalid_argument
+       "Check.Suite.run: unknown certifier \"bogus\" (expected one of congest, approx, \
+        gadget, determinism, amplify)")
+    (fun () ->
+      ignore (Check.Suite.run { Check.Suite.default with Check.Suite.only = [ "bogus" ] }))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "status algebra and exit codes" `Quick test_report_status;
+          Alcotest.test_case "json schema" `Quick test_report_json;
+        ] );
+      ( "congest",
+        [
+          Alcotest.test_case "clean stream" `Quick test_congest_clean;
+          Alcotest.test_case "forged non-edge message" `Quick test_congest_non_edge;
+          Alcotest.test_case "edge overload" `Quick test_congest_overload;
+          Alcotest.test_case "empty stream" `Quick test_congest_inconclusive;
+        ] );
+      ( "approx",
+        [
+          Alcotest.test_case "thm11" `Quick test_approx_thm11;
+          Alcotest.test_case "three halves" `Quick test_approx_three_halves;
+        ] );
+      ("gadget", [ Alcotest.test_case "table2 + gap" `Quick test_gadget ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "rerun + permutation" `Quick test_determinism;
+          Alcotest.test_case "permute preserves graph" `Quick test_permute_preserves_graph;
+        ] );
+      ("amplify", [ Alcotest.test_case "frequencies" `Quick test_amplify ]);
+      ( "sweep",
+        [
+          Alcotest.test_case "store audit" `Quick test_sweep_audit;
+          Alcotest.test_case "oracle agrees with runner" `Quick
+            test_expected_exact_matches_rows;
+        ] );
+      ("suite", [ Alcotest.test_case "selection" `Quick test_suite_selection ]);
+    ]

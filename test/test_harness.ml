@@ -57,6 +57,51 @@ let test_hjson_accessors () =
   checkb "missing member" true (member "absent" v = None);
   checkb "int rejects fraction" true (to_int_opt (Num 1.5) = None)
 
+(* Float64 integer-exactness boundary: 2^53 is the first integer whose
+   float image is shared with its successor (2^53 and 2^53 + 1 both
+   parse to 9007199254740992.0), so [to_int_opt] must stop one short of
+   it — a silently rounded id or counter is worse than a None. *)
+let test_hjson_int_exactness_boundary () =
+  let open Harness.Hjson in
+  let two53 = 9007199254740992.0 in
+  checkb "2^53 - 1 accepted" true (to_int_opt (Num (two53 -. 1.0)) = Some 9007199254740991);
+  checkb "-(2^53 - 1) accepted" true
+    (to_int_opt (Num (-.(two53 -. 1.0))) = Some (-9007199254740991));
+  checkb "2^53 rejected" true (to_int_opt (Num two53) = None);
+  checkb "2^53 + 1 rejected (same float as 2^53)" true
+    (to_int_opt (Num (two53 +. 1.0)) = None);
+  checkb "-(2^53) rejected" true (to_int_opt (Num (-.two53)) = None);
+  checkb "parse path rejects 9007199254740993" true
+    (match parse "9007199254740993" with
+    | Ok v -> to_int_opt v = None
+    | Error _ -> false);
+  checkb "parse path accepts 9007199254740991" true
+    (match parse "9007199254740991" with
+    | Ok v -> to_int_opt v = Some 9007199254740991
+    | Error _ -> false)
+
+let prop_hjson_int_roundtrip =
+  QCheck.Test.make ~name:"exact ints survive print/parse/to_int_opt" ~count:1000
+    QCheck.(int_range (-9007199254740991) 9007199254740991)
+    (fun i ->
+      match Harness.Hjson.parse (Harness.Hjson.print (Harness.Hjson.Num (float_of_int i))) with
+      | Ok v -> Harness.Hjson.to_int_opt v = Some i
+      | Error _ -> false)
+
+let prop_hjson_float_roundtrip =
+  (* Tjson prints non-integral floats at %.9g, so the parse is exact
+     for integral values below 1e15 and within 1e-8 relative
+     otherwise. *)
+  QCheck.Test.make ~name:"finite floats survive print/parse within format precision"
+    ~count:500
+    QCheck.(float_range (-1e14) 1e14)
+    (fun f ->
+      match Harness.Hjson.parse (Harness.Hjson.print (Harness.Hjson.Num f)) with
+      | Ok (Harness.Hjson.Num f') ->
+        if Float.is_integer f then f' = f
+        else Float.abs (f' -. f) <= 1e-8 *. Float.max 1.0 (Float.abs f)
+      | _ -> false)
+
 (* ------------------------------- Spec ------------------------------ *)
 
 let small_spec =
@@ -387,6 +432,10 @@ let () =
           Alcotest.test_case "errors" `Quick test_hjson_errors;
           Alcotest.test_case "roundtrip" `Quick test_hjson_roundtrip;
           Alcotest.test_case "accessors" `Quick test_hjson_accessors;
+          Alcotest.test_case "int exactness boundary" `Quick
+            test_hjson_int_exactness_boundary;
+          QCheck_alcotest.to_alcotest prop_hjson_int_roundtrip;
+          QCheck_alcotest.to_alcotest prop_hjson_float_roundtrip;
         ] );
       ( "spec",
         [

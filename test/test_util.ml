@@ -323,6 +323,41 @@ let test_percentile () =
   checkf "p50" 50.0 (Util.Stats.percentile xs ~p:50.0);
   checkf "p100" 100.0 (Util.Stats.percentile xs ~p:100.0)
 
+let test_percentile_edges () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "p0" 1.0 (Util.Stats.percentile xs ~p:0.0);
+  checkf "p1" 1.0 (Util.Stats.percentile xs ~p:1.0);
+  checkf "singleton p0" 7.0 (Util.Stats.percentile [ 7.0 ] ~p:0.0);
+  checkf "singleton p50" 7.0 (Util.Stats.percentile [ 7.0 ] ~p:50.0);
+  checkf "singleton p100" 7.0 (Util.Stats.percentile [ 7.0 ] ~p:100.0);
+  Alcotest.check_raises "NaN input" (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Util.Stats.percentile [ 1.0; Float.nan ] ~p:50.0));
+  Alcotest.check_raises "NaN p" (Invalid_argument "Stats.percentile") (fun () ->
+      ignore (Util.Stats.percentile xs ~p:Float.nan));
+  Alcotest.check_raises "p > 100" (Invalid_argument "Stats.percentile") (fun () ->
+      ignore (Util.Stats.percentile xs ~p:100.5));
+  Alcotest.check_raises "median NaN" (Invalid_argument "Stats.median: NaN input")
+    (fun () -> ignore (Util.Stats.median [ Float.nan ]))
+
+(* Pins the population-vs-sample convention: [stddev] divides by n (the
+   measured runs ARE the population being summarized), [stddev_sample]
+   applies Bessel's n-1. *)
+let test_stddev_conventions () =
+  let xs = [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  checkf "population" 2.0 (Util.Stats.stddev xs);
+  checkf "sample (Bessel)" (sqrt (32.0 /. 7.0)) (Util.Stats.stddev_sample xs);
+  checkf "sample singleton" 0.0 (Util.Stats.stddev_sample [ 3.0 ]);
+  checkf "population singleton" 0.0 (Util.Stats.stddev [ 3.0 ])
+
+(* The extrema use [Float.compare]'s total order (NaN below every
+   real): [maxf] of a NaN-polluted list is still the real maximum,
+   while [minf] surfaces the NaN instead of silently skipping it. *)
+let test_extrema_total_order () =
+  checkf "maxf sees through nan" 3.0 (Util.Stats.maxf [ 1.0; Float.nan; 3.0 ]);
+  checkf "maxf leading nan" 3.0 (Util.Stats.maxf [ Float.nan; 3.0 ]);
+  checkb "minf surfaces nan" true (Float.is_nan (Util.Stats.minf [ 1.0; Float.nan; 3.0 ]));
+  checkf "minf clean" 1.0 (Util.Stats.minf [ 3.0; 1.0; 2.0 ])
+
 (* ------------------------------- Lp -------------------------------- *)
 
 let test_lp_basic () =
@@ -482,6 +517,9 @@ let () =
           Alcotest.test_case "linear fit" `Quick test_linear_fit_exact;
           Alcotest.test_case "loglog fit" `Quick test_loglog_fit_power_law;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "stddev conventions" `Quick test_stddev_conventions;
+          Alcotest.test_case "extrema total order" `Quick test_extrema_total_order;
         ] );
       ( "lp",
         [
