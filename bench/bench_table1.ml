@@ -56,7 +56,7 @@ let print_measured () =
   let spec = Harness.Spec.table1_measured in
   let store =
     Harness.Store.load
-      ~path:(Filename.concat (Bench_common.artifact_dir ()) "table1_measured.jsonl")
+      ~path:(Filename.concat (Bench_common.artifact_dir ()) "table1_measured.jsonl") ()
   in
   let executed, failures = Harness.Runner.run spec store in
   if failures > 0 then Bench_common.note "WARNING: %d of %d jobs failed" failures executed;

@@ -12,7 +12,7 @@ let scaling () =
   let spec = Harness.Spec.thm11_scaling in
   let store =
     Harness.Store.load
-      ~path:(Filename.concat (Bench_common.artifact_dir ()) "thm11_scaling.jsonl")
+      ~path:(Filename.concat (Bench_common.artifact_dir ()) "thm11_scaling.jsonl") ()
   in
   let executed, failures = Harness.Runner.run spec store in
   Bench_common.note "sweep %s: %d jobs executed (%d resumed from checkpoint), %d failed"

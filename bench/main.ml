@@ -21,6 +21,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("micro", "Bechamel micro-benchmarks", Bench_micro.run);
     ("perf", "Engine/APSP hot-path trajectory (BENCH_engine.json)", Bench_perf.run);
     ("check", "Guarantee auditor over live engine streams", Bench_check.run);
+    ("chaos", "Supervision overhead: deadline guard, checksummed store", Bench_chaos.run);
   ]
 
 let () =

@@ -492,13 +492,36 @@ let sweep_error msg =
   Printf.eprintf "qcongest sweep: %s\n" msg;
   2
 
-let load_store spec override =
+let load_store ?fsync spec override =
   let path = resolve_store_path spec override in
-  let store = Harness.Store.load ~path in
+  let store = Harness.Store.load ?fsync ~path () in
+  if Harness.Store.quarantined_lines store > 0 then
+    Printf.printf "checkpoint %s: quarantined %d corrupt line(s) to %s\n" path
+      (Harness.Store.quarantined_lines store)
+      (Harness.Store.corrupt_path store);
   if Harness.Store.dropped_lines store > 0 then
-    Printf.printf "checkpoint %s: truncated %d corrupt trailing line(s)\n" path
+    Printf.printf "checkpoint %s: dropped %d truncated trailing line(s)\n" path
       (Harness.Store.dropped_lines store);
   store
+
+(* Open the store for the duration of [f], surfacing a held lock as a
+   usage error instead of a raw exception. *)
+let with_store ?fsync spec override f =
+  match load_store ?fsync spec override with
+  | exception Harness.Store.Locked { lock_path; holder } ->
+    sweep_error
+      (Printf.sprintf
+         "store is locked by running process %d (%s); wait for it or remove the lock file \
+          if that process is gone"
+         holder lock_path)
+  | store -> Fun.protect ~finally:(fun () -> Harness.Store.close store) (fun () -> f store)
+
+(* Poison jobs settled into the quarantine sibling (if any). *)
+let quarantine_count store =
+  let qp = Harness.Runner.quarantine_path store in
+  if Sys.file_exists qp then
+    Harness.Store.count (Harness.Store.load ~lock:false ~path:qp ())
+  else 0
 
 let stored_failures store =
   List.length
@@ -523,51 +546,81 @@ let audit_sweep_store (spec : Harness.Spec.t) store =
        (Check.Report.to_json report));
   Check.Report.exit_code report
 
-let sweep_run jobs spec_file builtin store_override max_jobs audit =
+let sweep_run jobs spec_file builtin store_override max_jobs audit fsync deadline retries
+    =
   set_jobs jobs;
-  match load_spec spec_file builtin with
-  | Error m -> sweep_error m
-  | Ok spec ->
-    let store = load_store spec store_override in
-    let total = List.length (Harness.Spec.jobs spec) in
-    Printf.printf "sweep %s: %d jobs (%d already checkpointed in %s)\n%!"
-      spec.Harness.Spec.name total (Harness.Store.count store)
-      (Harness.Store.path store);
-    let executed, failed =
-      Harness.Runner.run ?max_jobs spec store ~on_progress:(fun ~completed ~total ->
-          Printf.printf "  checkpoint: %d/%d jobs\n%!" completed total)
-    in
-    Printf.printf "executed %d job(s), %d failed in this invocation\n" executed failed;
-    let report = Harness.Runner.report spec store in
-    Printf.printf "wrote %s\n"
-      (Telemetry.Export.write_artifact
-         ~name:(spec.Harness.Spec.name ^ ".sweep.json")
-         report);
-    let audit_rc = if audit then audit_sweep_store spec store else 0 in
-    let failures = stored_failures store in
-    if Harness.Store.count store < total then begin
-      Printf.printf "%d job(s) still pending — rerun `sweep run` to resume\n"
-        (total - Harness.Store.count store);
-      0
-    end
-    else if failures > 0 then begin
-      Printf.eprintf "qcongest sweep: %d of %d jobs failed (see the report artifact)\n"
-        failures total;
-      1
-    end
-    else if audit_rc <> 0 then begin
-      Printf.eprintf "qcongest sweep: checkpoint audit did not certify (exit %d)\n" audit_rc;
-      audit_rc
-    end
-    else 0
+  if retries < 1 then sweep_error "--retries must be >= 1"
+  else
+    match load_spec spec_file builtin with
+    | Error m -> sweep_error m
+    | Ok spec ->
+      with_store ~fsync spec store_override @@ fun store ->
+      let total = List.length (Harness.Spec.jobs spec) in
+      Printf.printf "sweep %s: %d jobs (%d already checkpointed in %s)\n%!"
+        spec.Harness.Spec.name total (Harness.Store.count store)
+        (Harness.Store.path store);
+      let retry =
+        if retries = 1 then Harness.Runner.no_retry
+        else { Harness.Runner.default_retry with Harness.Runner.max_attempts = retries }
+      in
+      let executed, failed =
+        Harness.Runner.run ?max_jobs ~retry ?deadline_s:deadline spec store
+          ~on_progress:(fun ~completed ~total ->
+            Printf.printf "  checkpoint: %d/%d jobs\n%!" completed total)
+      in
+      Printf.printf "executed %d job(s), %d failed in this invocation\n" executed failed;
+      let report = Harness.Runner.report spec store in
+      Printf.printf "wrote %s\n"
+        (Telemetry.Export.write_artifact
+           ~name:(spec.Harness.Spec.name ^ ".sweep.json")
+           report);
+      let audit_rc = if audit then audit_sweep_store spec store else 0 in
+      let quarantined = quarantine_count store in
+      if quarantined > 0 then
+        Printf.printf "%d poison job(s) quarantined in %s\n" quarantined
+          (Harness.Runner.quarantine_path store);
+      let settled = Harness.Store.count store + quarantined in
+      let failures = stored_failures store + quarantined in
+      if settled < total then begin
+        Printf.printf "%d job(s) still pending — rerun `sweep run` to resume\n"
+          (total - settled);
+        0
+      end
+      else if failures > 0 then begin
+        Printf.eprintf "qcongest sweep: %d of %d jobs failed (see the report artifact)\n"
+          failures total;
+        1
+      end
+      else if audit_rc <> 0 then begin
+        Printf.eprintf "qcongest sweep: checkpoint audit did not certify (exit %d)\n"
+          audit_rc;
+        audit_rc
+      end
+      else 0
 
 let sweep_report spec_file builtin store_override =
   match load_spec spec_file builtin with
   | Error m -> sweep_error m
   | Ok spec ->
-    let store = load_store spec store_override in
+    with_store spec store_override @@ fun store ->
     print_endline (Harness.Runner.report spec store);
     0
+
+let print_gate_verdict (spec : Harness.Spec.t) ~negative_control verdict =
+  List.iter
+    (fun (c : Harness.Fit.check) ->
+      Printf.printf "gate %-20s %s  %s\n" c.Harness.Fit.series
+        (String.uppercase_ascii (Harness.Fit.status_name c.Harness.Fit.status))
+        c.Harness.Fit.reason)
+    verdict.Harness.Fit.checks;
+  let artifact =
+    spec.Harness.Spec.name
+    ^ (if negative_control then ".negative.gate.json" else ".gate.json")
+  in
+  Printf.printf "wrote %s\n"
+    (Telemetry.Export.write_artifact ~name:artifact
+       (Harness.Fit.verdict_to_json verdict));
+  Harness.Fit.exit_code verdict
 
 let sweep_gate jobs spec_file builtin store_override negative_control =
   set_jobs jobs;
@@ -575,38 +628,31 @@ let sweep_gate jobs spec_file builtin store_override negative_control =
   | Error m -> sweep_error m
   | Ok spec ->
     if spec.Harness.Spec.gates = [] then sweep_error "spec has no gates to check"
-    else begin
+    else if negative_control then begin
+      (* Synthetic mis-scaled series: one extra power of n beyond
+         each gate's tolerance band, so a healthy gate MUST reject
+         it (the test that the gate can actually fail). *)
       let series =
-        if negative_control then
-          (* Synthetic mis-scaled series: one extra power of n beyond
-             each gate's tolerance band, so a healthy gate MUST reject
-             it (the test that the gate can actually fail). *)
-          List.map
-            (fun (g : Harness.Spec.gate) ->
-              let bad = g.Harness.Spec.expected +. g.Harness.Spec.tol +. 1.0 in
-              ( g.Harness.Spec.series,
-                List.map
-                  (fun n -> (float_of_int n, float_of_int n ** bad))
-                  spec.Harness.Spec.sizes ))
-            spec.Harness.Spec.gates
-        else Harness.Runner.series_points spec (load_store spec store_override)
+        List.map
+          (fun (g : Harness.Spec.gate) ->
+            let bad = g.Harness.Spec.expected +. g.Harness.Spec.tol +. 1.0 in
+            ( g.Harness.Spec.series,
+              List.map
+                (fun n -> (float_of_int n, float_of_int n ** bad))
+                spec.Harness.Spec.sizes ))
+          spec.Harness.Spec.gates
       in
-      let verdict = Harness.Fit.evaluate spec.Harness.Spec.gates ~series in
-      List.iter
-        (fun (c : Harness.Fit.check) ->
-          Printf.printf "gate %-20s %s  %s\n" c.Harness.Fit.series
-            (if c.Harness.Fit.pass then "PASS" else "FAIL")
-            c.Harness.Fit.reason)
-        verdict.Harness.Fit.checks;
-      let artifact =
-        spec.Harness.Spec.name
-        ^ (if negative_control then ".negative.gate.json" else ".gate.json")
-      in
-      Printf.printf "wrote %s\n"
-        (Telemetry.Export.write_artifact ~name:artifact
-           (Harness.Fit.verdict_to_json verdict));
-      Harness.Fit.exit_code verdict
+      print_gate_verdict spec ~negative_control
+        (Harness.Fit.evaluate spec.Harness.Spec.gates ~series)
     end
+    else
+      with_store spec store_override @@ fun store ->
+      (* Series degraded by timeouts/quarantine gate as Inconclusive
+         (exit 3), never as a measured pass or fail. *)
+      let degraded = Harness.Runner.degraded_series spec store in
+      let series = Harness.Runner.series_points spec store in
+      print_gate_verdict spec ~negative_control
+        (Harness.Fit.evaluate ~degraded spec.Harness.Spec.gates ~series)
 
 let sweep_cmd =
   let spec_arg =
@@ -657,10 +703,39 @@ let sweep_cmd =
              oracle (the $(b,check sweep) auditor); a violated row makes the command exit \
              non-zero.")
   in
+  let fsync_arg =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the checkpoint store after every appended row (and every store repair), \
+             trading throughput for power-loss durability. Without it rows are flushed to \
+             the OS but not forced to disk.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock budget per job attempt, checked cooperatively at round granularity; \
+             a job over budget is checkpointed as a $(b,status:\"timeout\") row and the \
+             sweep continues.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Attempts per job (default 1 = no retry). Failed attempts are re-run after a \
+             deterministic seeded exponential backoff; a job failing all $(docv) attempts \
+             is quarantined to the $(b,*.quarantine.jsonl) sibling and the sweep completes \
+             without it.")
+  in
   let run_term =
     Term.(
       const sweep_run $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ max_jobs_arg
-      $ audit_arg)
+      $ audit_arg $ fsync_arg $ deadline_arg $ retries_arg)
   in
   let run_cmd =
     Cmd.v
@@ -731,7 +806,18 @@ let check_sweep spec_file builtin store_override =
   | Error m ->
     Printf.eprintf "qcongest check: %s\n" m;
     2
-  | Ok spec -> audit_sweep_store spec (load_store spec store_override)
+  | Ok spec -> with_store spec store_override (audit_sweep_store spec)
+
+let check_chaos seed deadline negative_control artifacts =
+  let report = Check.Suite.chaos ~seed ~deadline_s:deadline ~negative_control () in
+  List.iter
+    (Format.printf "%a@." Check.Report.pp_certificate)
+    report.Check.Report.certificates;
+  let name = if negative_control then "chaos.negative.json" else "chaos.report.json" in
+  Printf.printf "wrote %s\n"
+    (Telemetry.Export.write_artifact ?dir:artifacts ~name (Check.Report.to_json report));
+  Printf.printf "check: %s\n" (Check.Report.status_name (Check.Report.status report));
+  Check.Report.exit_code report
 
 let check_cmd =
   let only_arg =
@@ -823,15 +909,58 @@ let check_cmd =
             fields. Exits 1 on a violated row, 3 when the store has no auditable rows.")
       Term.(const check_sweep $ spec_arg $ builtin_arg $ store_arg)
   in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed of the staged chaos sweeps.")
+  in
+  let chaos_deadline_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget given to the planted never-terminating jobs.")
+  in
+  let chaos_negative_arg =
+    Arg.(
+      value & flag
+      & info [ "negative-control" ]
+          ~doc:
+            "Arm one sabotage per chaos certificate (a silently deleted checkpoint row, a \
+             supervisor that forgot to arm the deadline, an ignored retry policy, a lost \
+             quarantine file). A sound chaos auditor must exit 1.")
+  in
+  let chaos_cmd =
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Chaos-injection audit of the supervised execution layer: kill a sweep mid-batch \
+            and corrupt its checkpoint store in place (bit-flip, spliced line, truncated \
+            row), plant a never-terminating job under a deadline, inject transient and \
+            permanent faults under the seeded retry policy — then certify recovery: \
+            byte-identical resumed reports, timeout rows within tolerance, deterministic \
+            backoff schedules, poison-job quarantine and Inconclusive gates over degraded \
+            series. Exits 0 when every invariant holds, 1 on a violation.")
+      Term.(
+        const check_chaos $ chaos_seed_arg $ chaos_deadline_arg $ chaos_negative_arg
+        $ artifacts_arg)
+  in
   Cmd.group
     (Cmd.info "check"
        ~doc:
          "Guarantee auditor: certify the paper's claims (CONGEST legality, approximation \
           ratios, gadget distance structure, determinism, amplification) on concrete runs, \
           with machine-readable violation reports.")
-    [ run_cmd; sweep_cmd ]
+    [ run_cmd; sweep_cmd; chaos_cmd ]
 
 let () =
+  (* Validate QCONGEST_JOBS before dispatching any command: a typo
+     should fail fast as a usage error, not as an Invalid_argument
+     deep inside the first sweep batch. *)
+  (match Util.Domain_pool.validate_env () with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "qcongest: %s\n" msg;
+    exit 2);
   let info =
     Cmd.info "qcongest"
       ~doc:

@@ -40,3 +40,11 @@ val run : config -> Report.report
 val sweep_report : Harness.Spec.t -> Harness.Store.t -> Report.report
 (** {!Sweep_audit.audit_store} wrapped as a one-certificate report —
     the [qcongest check sweep] / [sweep run --audit] entry point. *)
+
+val chaos :
+  ?seed:int -> ?deadline_s:float -> ?negative_control:bool -> unit -> Report.report
+(** {!Resilience_audit.certify} wrapped as a report — the [qcongest
+    check chaos] entry point. Kept out of {!run}'s certifier list
+    because it stages real kills, corruption, backoff sleeps and
+    deadline budgets; [negative_control] arms one sabotage per
+    certificate so the report must [Fail]. *)

@@ -81,6 +81,36 @@ type limit_info = { protocol : string; round_reached : int; partial : trace }
 
 exception Round_limit_exceeded of limit_info
 
+type deadline_info = {
+  deadline_protocol : string;
+  round_at_deadline : int;
+  elapsed_s : float;
+  budget_s : float;
+  partial_trace : trace;
+}
+
+exception Deadline_exceeded of deadline_info
+
+(* Ambient per-domain deadline: an absolute instant (plus the clock it
+   was read from) that every [run] on this domain inherits when its
+   caller cannot thread [?deadline] through intermediate layers (the
+   sweep runner supervises whole algorithm executions this way). Being
+   domain-local it is safe under [Util.Domain_pool] fan-out: each
+   worker domain carries its own budget. *)
+let ambient_deadline : (float * Telemetry.Clock.t) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_deadline ?(clock = Telemetry.Clock.wall) ~seconds f =
+  let at = Telemetry.Clock.now clock +. seconds in
+  let prev = Domain.DLS.get ambient_deadline in
+  (* Nested budgets only ever shrink; comparing instants assumes nested
+     scopes share one clock (they do in this repo). *)
+  let merged =
+    match prev with Some (p, _) when p <= at -> prev | _ -> Some (at, clock)
+  in
+  Domain.DLS.set ambient_deadline merged;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_deadline prev) f
+
 (* Inboxes are reusable growable buffers: envelopes are appended in
    arrival order and the live prefix is snapshotted (and stably sorted
    by sender) once per activation, so the steady state allocates one
@@ -120,7 +150,8 @@ let rec merge_uniq a b =
    list; the next event round comes from one lazy-deletion int heap
    instead of Hashtbl.fold min-scans; and the per-round active-set
    scan over all n inboxes is replaced by a touched-node list. *)
-let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g proto =
+let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry.Clock.wall)
+    ?on_message ?faults ?sink g proto =
   let n = Graphlib.Wgraph.n g in
   if n = 0 then invalid_arg "Engine.run: empty graph";
   (* The historical [?on_message] hook is an adapter over the event
@@ -409,6 +440,40 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
       calendar_round ()
     | top -> top
   in
+  (* Cooperative wall-clock supervision: resolved once at run start
+     from the explicit [?deadline] (relative to [?clock]) or, failing
+     that, the ambient {!with_deadline} budget. [None] — the default —
+     adds nothing to the round loop, so unsupervised runs keep the
+     bit-identical historical behaviour. *)
+  let deadline_guard =
+    let make ~clk ~start ~limit ~budget =
+      Some
+        (fun r ->
+          let now = Telemetry.Clock.now clk in
+          if now > limit then
+            raise
+              (Deadline_exceeded
+                 {
+                   deadline_protocol = proto.name;
+                   round_at_deadline = r;
+                   elapsed_s = now -. start;
+                   budget_s = budget;
+                   partial_trace = current_trace ();
+                 }))
+    in
+    match deadline with
+    | Some budget ->
+      if not (Float.is_finite budget) || budget < 0.0 then
+        invalid_arg "Engine.run: deadline must be a non-negative finite number of seconds";
+      let start = Telemetry.Clock.now clock in
+      make ~clk:clock ~start ~limit:(start +. budget) ~budget
+    | None -> (
+      match Domain.DLS.get ambient_deadline with
+      | Some (at, clk) ->
+        let start = Telemetry.Clock.now clk in
+        make ~clk ~start ~limit:at ~budget:(at -. start)
+      | None -> None)
+  in
   let continue = ref true in
   while !continue do
     (* Decide the next round with activity. *)
@@ -427,6 +492,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?on_message ?faults ?sink g p
         raise
           (Round_limit_exceeded
              { protocol = proto.name; round_reached = r; partial = current_trace () });
+      (match deadline_guard with None -> () | Some check -> check r);
       (* Collect the active set: inbox recipients plus due wake-ups. *)
       let flushed = adversary <> None && flush_arrivals r in
       let from_inbox =

@@ -96,9 +96,33 @@ type limit_info = {
 
 exception Round_limit_exceeded of limit_info
 
+type deadline_info = {
+  deadline_protocol : string;  (** [protocol.name] of the over-budget run. *)
+  round_at_deadline : int;  (** Next scheduled round when the budget ran out. *)
+  elapsed_s : float;  (** Wall seconds consumed since this [run] started. *)
+  budget_s : float;  (** The budget this run was given (for an ambient
+                         {!with_deadline} budget: what remained of it
+                         when this run started). *)
+  partial_trace : trace;  (** Accounting up to the moment of the abort. *)
+}
+
+exception Deadline_exceeded of deadline_info
+
+val with_deadline : ?clock:Telemetry.Clock.t -> seconds:float -> (unit -> 'a) -> 'a
+(** [with_deadline ~seconds f] runs [f] with an ambient wall-clock
+    budget: every {!run} started by [f] on this domain (without its own
+    explicit [?deadline]) cooperatively checks the shared absolute
+    deadline and raises {!Deadline_exceeded} once it passes. The budget
+    is domain-local, so [Util.Domain_pool] workers supervise their jobs
+    independently; nested scopes only ever shrink the budget (nesting
+    assumes both scopes use the same clock). The previous ambient state
+    is restored when [f] returns or raises. *)
+
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
+  ?deadline:float ->
+  ?clock:Telemetry.Clock.t ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
   ?faults:Fault.t ->
   ?sink:Telemetry.Events.sink ->
@@ -111,6 +135,17 @@ val run :
     raising {!Round_limit_exceeded} with a structured payload.
     Nodes are processed in increasing id order within a round;
     messages to non-neighbors raise [Invalid_argument].
+
+    [?deadline] is a wall-clock budget in seconds, read from [?clock]
+    (default {!Telemetry.Clock.wall}; pass a manual clock for
+    deterministic tests). It is checked cooperatively once per
+    scheduled round, so a run never observes the deadline mid-round:
+    either the round runs to completion or {!Deadline_exceeded} is
+    raised before it starts. With [?deadline] unset the run inherits
+    any ambient {!with_deadline} budget; with neither, no clock is
+    ever read and execution — states, trace, and event stream — is
+    bit-for-bit the unsupervised behaviour (pinned against
+    [Engine_reference] by the golden-equivalence suite).
 
     [?faults] injects the configured adversary (see {!Fault}): the
     drop/duplicate/delay decisions are drawn per message from the

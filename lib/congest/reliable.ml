@@ -28,17 +28,22 @@ type 'm stream = {
   parked : (int * 'm) list;  (* (seq, body), seq > expected, sorted *)
 }
 
+(* One message abandoned after exhausting its retransmission budget:
+   the structured give-up outcome surfaced per node. *)
+type give_up = { gu_dst : int; gu_seq : int; gu_retries : int; gu_round : int }
+
 type ('s, 'm) state = {
   st_inner : 's;
   next_seq : (int * int) list;  (* per-destination next sequence number *)
   pending : 'm pending list;  (* deterministic order, newest first *)
   streams : (int * 'm stream) list;  (* per-source receive state *)
   inner_wakes : int list;  (* rounds the inner protocol asked to wake at *)
-  st_given_up : int;
+  st_abandoned : give_up list;  (* newest first *)
 }
 
 let inner st = st.st_inner
-let given_up st = st.st_given_up
+let given_up st = List.length st.st_abandoned
+let abandoned st = List.rev st.st_abandoned
 
 let check_config c =
   if c.timeout < 3 then invalid_arg "Reliable: timeout < 3 (round trip takes 2 rounds)";
@@ -87,7 +92,10 @@ let retransmit config st ~round =
     List.filter_map
       (fun pd ->
         if pd.p_retries >= config.max_retries then begin
-          st := { !st with st_given_up = !st.st_given_up + 1 };
+          let gu =
+            { gu_dst = pd.p_dst; gu_seq = pd.p_seq; gu_retries = pd.p_retries; gu_round = round }
+          in
+          st := { !st with st_abandoned = gu :: !st.st_abandoned };
           None
         end
         else begin
@@ -157,7 +165,7 @@ let wrap ?(config = default_config) (p : ('s, 'm) Engine.protocol) :
             pending = [];
             streams = [];
             inner_wakes = [];
-            st_given_up = 0;
+            st_abandoned = [];
           }
         in
         let st, data_sends, inner_wakes = integrate config st0 ~round:0 (inner0, act) in

@@ -56,7 +56,21 @@ val inner : ('s, 'm) state -> 's
 val given_up : ('s, 'm) state -> int
 (** Messages this node abandoned after [max_retries]
     retransmissions (0 unless the network is badly partitioned or a
-    peer crashed). *)
+    peer crashed). [List.length (abandoned st)]. *)
+
+type give_up = {
+  gu_dst : int;  (** Destination the message never reached. *)
+  gu_seq : int;  (** Its per-(sender, destination) sequence number. *)
+  gu_retries : int;  (** Retransmissions spent ([= max_retries]). *)
+  gu_round : int;  (** Round at which the sender gave up. *)
+}
+
+val abandoned : ('s, 'm) state -> give_up list
+(** The structured give-up outcomes of this node, oldest first: which
+    messages were abandoned, to whom, after how many retransmissions.
+    The retransmission cap plus this record is what turns "adversary
+    drops one edge forever" from an unbounded retransmission loop into
+    a bounded, observable failure. *)
 
 val wrap : ?config:config -> ('s, 'm) Engine.protocol -> (('s, 'm) state, 'm msg) Engine.protocol
 (** The wrapped protocol, named ["reliable:<name>"]. *)

@@ -42,17 +42,25 @@ let fit_series ~seed pts =
         ci = bootstrap_ci ~seed pts;
       }
 
+type gate_status = Pass | Fail | Inconclusive
+
+let status_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Inconclusive -> "inconclusive"
+
 type check = {
   series : string;
   expected : float;
   tol : float;
   min_r2 : float;
   fit : series_fit option;
+  status : gate_status;
   pass : bool;
   reason : string;
 }
 
-type verdict = { pass : bool; checks : check list }
+type verdict = { pass : bool; status : gate_status; checks : check list }
 
 let seed_of_series name =
   (* Stable small seed from the series name; keeps verdicts
@@ -61,41 +69,55 @@ let seed_of_series name =
   String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) name;
   !h
 
-let evaluate gates ~series =
+let evaluate ?(degraded = []) gates ~series =
   let checks =
     List.map
       (fun (g : Spec.gate) ->
         let base =
           { series = g.Spec.series; expected = g.Spec.expected; tol = g.Spec.tol;
-            min_r2 = g.Spec.min_r2; fit = None; pass = false; reason = "" }
+            min_r2 = g.Spec.min_r2; fit = None; status = Fail; pass = false; reason = "" }
         in
-        match List.assoc_opt g.Spec.series series with
-        | None -> { base with reason = "series absent from sweep results" }
-        | Some pts -> (
-          match fit_series ~seed:(seed_of_series g.Spec.series) pts with
-          | None -> { base with reason = "fewer than 2 distinct sizes with positive rounds" }
-          | Some f ->
-            let dev = Float.abs (f.slope -. g.Spec.expected) in
-            if dev > g.Spec.tol then
-              { base with
-                fit = Some f;
-                reason =
-                  Printf.sprintf "slope %.3f deviates %.3f from expected %.3f (tol %.3f)"
-                    f.slope dev g.Spec.expected g.Spec.tol }
-            else if f.r2 < g.Spec.min_r2 then
-              { base with
-                fit = Some f;
-                reason = Printf.sprintf "fit quality r2=%.3f below floor %.3f" f.r2 g.Spec.min_r2 }
-            else
-              { base with
-                fit = Some f;
-                pass = true;
-                reason =
-                  Printf.sprintf "slope %.3f within %.3f +/- %.3f (r2=%.3f)" f.slope
-                    g.Spec.expected g.Spec.tol f.r2 }))
+        let inconclusive base reason = { base with status = Inconclusive; reason } in
+        if List.mem g.Spec.series degraded then
+          (* Too few surviving ok rows: any slope fitted through the
+             wreckage would be a spurious verdict either way. *)
+          inconclusive base "series degraded: too few ok rows to support a verdict"
+        else
+          match List.assoc_opt g.Spec.series series with
+          | None -> inconclusive base "series absent from sweep results"
+          | Some pts -> (
+            match fit_series ~seed:(seed_of_series g.Spec.series) pts with
+            | None ->
+              inconclusive base "fewer than 2 distinct sizes with positive rounds"
+            | Some f ->
+              let dev = Float.abs (f.slope -. g.Spec.expected) in
+              if dev > g.Spec.tol then
+                { base with
+                  fit = Some f;
+                  reason =
+                    Printf.sprintf "slope %.3f deviates %.3f from expected %.3f (tol %.3f)"
+                      f.slope dev g.Spec.expected g.Spec.tol }
+              else if f.r2 < g.Spec.min_r2 then
+                { base with
+                  fit = Some f;
+                  reason = Printf.sprintf "fit quality r2=%.3f below floor %.3f" f.r2 g.Spec.min_r2 }
+              else
+                { base with
+                  fit = Some f;
+                  status = Pass;
+                  pass = true;
+                  reason =
+                    Printf.sprintf "slope %.3f within %.3f +/- %.3f (r2=%.3f)" f.slope
+                      g.Spec.expected g.Spec.tol f.r2 }))
       gates
   in
-  { pass = checks <> [] && List.for_all (fun (c : check) -> c.pass) checks; checks }
+  let status =
+    if checks = [] then Inconclusive
+    else if List.exists (fun (c : check) -> c.status = Fail) checks then Fail
+    else if List.exists (fun (c : check) -> c.status = Inconclusive) checks then Inconclusive
+    else Pass
+  in
+  { pass = status = Pass && checks <> []; status; checks }
 
 let verdict_to_json v =
   let module J = Telemetry.Tjson in
@@ -115,6 +137,7 @@ let verdict_to_json v =
     [
       ("schema", J.str "qcongest-sweep-gate/v1");
       ("pass", J.bool v.pass);
+      ("status", J.str (status_name v.status));
       ( "gates",
         J.arr
           (List.map
@@ -127,6 +150,7 @@ let verdict_to_json v =
                    ("min_r2", J.float c.min_r2);
                    ("fit", fit_json c.fit);
                    ("pass", J.bool c.pass);
+                   ("status", J.str (status_name c.status));
                    ("reason", J.str c.reason);
                  ])
              v.checks) );

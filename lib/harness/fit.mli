@@ -22,27 +22,48 @@ val fit_series : seed:int -> (float * float) list -> series_fit option
 (** [None] when the series has fewer than 2 distinct positive
     abscissae (nothing to fit). Non-positive points are dropped. *)
 
+type gate_status =
+  | Pass  (** Enough data, and the slope is inside the band. *)
+  | Fail  (** Enough data, and the slope (or fit quality) rejects. *)
+  | Inconclusive
+      (** Not enough surviving data to support a verdict either way:
+          the series is absent, unfittable, or marked degraded. Never
+          a pass — but not a measured regression either. *)
+
+val status_name : gate_status -> string
+(** ["pass"] / ["fail"] / ["inconclusive"]. *)
+
 type check = {
   series : string;
   expected : float;
   tol : float;
   min_r2 : float;
   fit : series_fit option;  (** [None]: the series had no fittable data. *)
-  pass : bool;
-  reason : string;  (** Human-readable pass/fail cause. *)
+  status : gate_status;
+  pass : bool;  (** [status = Pass]. *)
+  reason : string;  (** Human-readable cause. *)
 }
 
-type verdict = { pass : bool; checks : check list }
+type verdict = { pass : bool; status : gate_status; checks : check list }
+(** [status] is the worst check status (Fail > Inconclusive > Pass);
+    an empty check list is Inconclusive. *)
 
-val evaluate : Spec.gate list -> series:(string * (float * float) list) list -> verdict
-(** One check per gate; a gate whose series is absent from [series]
-    fails. [pass] iff every check passes. *)
+val evaluate :
+  ?degraded:string list ->
+  Spec.gate list ->
+  series:(string * (float * float) list) list ->
+  verdict
+(** One check per gate. A gate whose series appears in [?degraded]
+    (see {!Runner.degraded_series}), is absent, or cannot be fitted is
+    {!Inconclusive}; [pass] iff every check measurably passes. *)
 
 val verdict_to_json : verdict -> string
-(** The [qcongest-sweep-gate/v1] artifact. *)
+(** The [qcongest-sweep-gate/v1] artifact (with per-gate and overall
+    ["status"] fields). *)
 
 val exit_code : verdict -> int
-(** [0] on pass, [3] on any failed check — the CLI's contract. *)
+(** [0] on pass, [3] otherwise (failed or inconclusive) — the CLI's
+    contract: only a measured pass exits 0. *)
 
 val seed_of_series : string -> int
 (** The deterministic bootstrap seed for a series name (FNV-derived). *)

@@ -1,0 +1,9 @@
+let hash64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
+    s;
+  !h
+
+let hex64 s = Printf.sprintf "%016Lx" (hash64 s)

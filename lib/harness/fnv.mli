@@ -1,0 +1,11 @@
+(** FNV-1a 64-bit content hashing.
+
+    One implementation shared by {!Spec} (content-addressed job ids)
+    and {!Store} (per-row checksums), so the two can never drift. Not
+    cryptographic — it detects corruption, not tampering. *)
+
+val hash64 : string -> int64
+(** FNV-1a over the raw bytes. *)
+
+val hex64 : string -> string
+(** {!hash64} rendered as 16 lowercase hex digits (zero-padded). *)

@@ -38,49 +38,106 @@ type ok_row = {
   note : string;
 }
 
-let row_prefix (j : Spec.job) ~n_actual =
-  Printf.sprintf "{\"schema\":\"qcongest-sweep-row/v1\",\"id\":%s,\"algo\":%s,\"n\":%d,\"n_actual\":%d,\"seed\":%d"
+let row_prefix (j : Spec.job) ~n_actual ~attempt =
+  Printf.sprintf
+    "{\"schema\":\"qcongest-sweep-row/v2\",\"id\":%s,\"algo\":%s,\"n\":%d,\"n_actual\":%d,\"seed\":%d,\"attempts\":%d"
     (Telemetry.Tjson.str j.Spec.id)
     (Telemetry.Tjson.str (Spec.algo_name j.Spec.algo))
-    j.Spec.n n_actual j.Spec.seed
+    j.Spec.n n_actual j.Spec.seed attempt
 
-let ok_json (j : Spec.job) ~n_actual r =
+let ok_json (j : Spec.job) ~n_actual ~attempt r =
   let ratio = if r.exact = 0 then 0.0 else r.estimate /. float_of_int r.exact in
   Printf.sprintf
     "%s,\"status\":\"ok\",\"rounds\":%d,\"messages\":%d,\"estimate\":%s,\"exact\":%d,\"ratio\":%s,\"within\":%b,\"note\":%s}"
-    (row_prefix j ~n_actual) r.rounds r.messages
+    (row_prefix j ~n_actual ~attempt)
+    r.rounds r.messages
     (Telemetry.Tjson.float r.estimate)
     r.exact
     (Telemetry.Tjson.float ratio)
     r.within
     (Telemetry.Tjson.str r.note)
 
-let failed_json (j : Spec.job) error_fields =
-  Printf.sprintf "%s,\"status\":\"failed\",\"error\":%s}"
-    (row_prefix j ~n_actual:j.Spec.n)
+let error_json (j : Spec.job) ~attempt ~status error_fields =
+  Printf.sprintf "%s,\"status\":%s,\"error\":%s}"
+    (row_prefix j ~n_actual:j.Spec.n ~attempt)
+    (Telemetry.Tjson.str status)
     (Telemetry.Tjson.obj error_fields)
 
-let protect (j : Spec.job) f =
+let failed_json (j : Spec.job) ~attempt error_fields =
+  error_json j ~attempt ~status:"failed" error_fields
+
+let protect ?(attempt = 1) (j : Spec.job) f =
   try f () with
   | Congest.Engine.Round_limit_exceeded info ->
-    failed_json j
+    failed_json j ~attempt
       [
         ("kind", Telemetry.Tjson.str "round-limit");
         ("protocol", Telemetry.Tjson.str info.Congest.Engine.protocol);
         ("round", Telemetry.Tjson.int info.Congest.Engine.round_reached);
         ("partial_rounds", Telemetry.Tjson.int info.Congest.Engine.partial.Congest.Engine.rounds);
       ]
+  | Congest.Engine.Deadline_exceeded info ->
+    error_json j ~attempt ~status:"timeout"
+      [
+        ("kind", Telemetry.Tjson.str "deadline");
+        ("protocol", Telemetry.Tjson.str info.Congest.Engine.deadline_protocol);
+        ("round", Telemetry.Tjson.int info.Congest.Engine.round_at_deadline);
+        ("elapsed_s", Telemetry.Tjson.float info.Congest.Engine.elapsed_s);
+        ("budget_s", Telemetry.Tjson.float info.Congest.Engine.budget_s);
+      ]
   | exn ->
-    failed_json j
+    failed_json j ~attempt
       [
         ("kind", Telemetry.Tjson.str "exception");
         ("message", Telemetry.Tjson.str (Printexc.to_string exn));
       ]
 
+(* ------------------------- retry scheduling ------------------------ *)
+
+type retry = {
+  max_attempts : int;
+  backoff_s : float;
+  multiplier : float;
+  jitter : float;
+  retry_seed : int;
+}
+
+let no_retry =
+  { max_attempts = 1; backoff_s = 0.0; multiplier = 2.0; jitter = 0.0; retry_seed = 0 }
+
+let default_retry =
+  { max_attempts = 3; backoff_s = 0.05; multiplier = 2.0; jitter = 0.25; retry_seed = 0 }
+
+(* The whole schedule is a pure function of (policy, job id): the
+   jitter RNG is seeded from both, so one job's draws never perturb
+   another's and a resumed run replays the identical schedule — the
+   property that keeps kill-and-resume byte-identical under retries. *)
+let backoff_schedule retry ~job_id =
+  if retry.max_attempts <= 1 then []
+  else begin
+    let salt = Int64.to_int (Fnv.hash64 job_id) land 0x3FFFFFFF in
+    let rng = Util.Rng.create ~seed:(retry.retry_seed lxor salt) in
+    List.init
+      (retry.max_attempts - 1)
+      (fun i ->
+        let base = retry.backoff_s *. (retry.multiplier ** float_of_int i) in
+        let factor =
+          if retry.jitter <= 0.0 then 1.0
+          else 1.0 -. retry.jitter +. Util.Rng.float rng (2.0 *. retry.jitter)
+        in
+        Float.max 0.0 (base *. factor))
+  end
+
 (* --------------------------- job execution ------------------------- *)
 
-let run_job (spec : Spec.t) (j : Spec.job) =
-  protect j (fun () ->
+let run_job ?(attempt = 1) ?deadline_s (spec : Spec.t) (j : Spec.job) =
+  protect ~attempt j (fun () ->
+      let supervised f =
+        match deadline_s with
+        | None -> f ()
+        | Some seconds -> Congest.Engine.with_deadline ~seconds f
+      in
+      supervised @@ fun () ->
       let g = make_graph spec ~n:j.Spec.n ~seed:j.Spec.seed in
       let n_actual = Graphlib.Wgraph.n g in
       let rng = algo_rng j in
@@ -181,7 +238,7 @@ let run_job (spec : Spec.t) (j : Spec.job) =
                 tr.Congest.Engine.dropped;
           }
       in
-      ok_json j ~n_actual r)
+      ok_json j ~n_actual ~attempt r)
 
 (* ------------------------------- run ------------------------------- *)
 
@@ -199,25 +256,78 @@ let row_failed row =
   | Ok v -> Hjson.member "status" v <> Some (Hjson.Str "ok")
   | Error _ -> true
 
-let run ?jobs ?max_jobs ?(on_progress = fun ~completed:_ ~total:_ -> ()) spec store =
+let quarantine_path store = Store.sibling (Store.path store) ~tag:"quarantine"
+
+(* Run one job to settlement under the retry policy: re-execute failed
+   attempts, sleeping the job's deterministic backoff schedule between
+   them, until a row is ok or the attempt budget is spent. Runs inside
+   a Domain_pool worker, so concurrent jobs back off in parallel. *)
+let attempt_job ~retry ~sleep ~execute spec (j : Spec.job) =
+  let rec go attempt = function
+    | [] -> execute spec j ~attempt
+    | delay :: rest ->
+      let row = execute spec j ~attempt in
+      if row_failed row then begin
+        sleep delay;
+        go (attempt + 1) rest
+      end
+      else row
+  in
+  go 1 (backoff_schedule retry ~job_id:j.Spec.id)
+
+let run ?jobs ?max_jobs ?(retry = no_retry) ?deadline_s ?(sleep = Unix.sleepf) ?execute
+    ?(on_progress = fun ~completed:_ ~total:_ -> ()) spec store =
+  if retry.max_attempts < 1 then invalid_arg "Runner.run: retry.max_attempts must be >= 1";
+  let execute =
+    match execute with
+    | Some f -> f
+    | None -> fun spec j ~attempt -> run_job ~attempt ?deadline_s spec j
+  in
   let all = Spec.jobs spec in
   let total = List.length all in
-  let pending = List.filter (fun j -> not (Store.mem store j.Spec.id)) all in
+  (* Poison jobs quarantined by an earlier invocation are settled: a
+     resume must neither re-run them nor wait for them. The sibling
+     store is only opened (and its file only created) when needed. *)
+  let qstore = ref None in
+  let force_qstore () =
+    match !qstore with
+    | Some q -> q
+    | None ->
+      let q = Store.load ~lock:false ~path:(quarantine_path store) () in
+      qstore := Some q;
+      q
+  in
+  if Sys.file_exists (quarantine_path store) then ignore (force_qstore ());
+  let quarantined id = match !qstore with Some q -> Store.mem q id | None -> false in
+  let pending =
+    List.filter
+      (fun (j : Spec.job) -> not (Store.mem store j.Spec.id || quarantined j.Spec.id))
+      all
+  in
   let pending = match max_jobs with Some k -> take k pending | None -> pending in
   let domain_count =
     match jobs with Some x -> max 1 x | None -> Util.Domain_pool.default_jobs ()
   in
   let executed = ref 0 and failed = ref 0 in
+  let settled () =
+    Store.count store + match !qstore with Some q -> Store.count q | None -> 0
+  in
   List.iter
     (fun batch ->
-      let rows = Util.Domain_pool.map_list ~jobs:domain_count (run_job spec) batch in
+      let rows =
+        Util.Domain_pool.map_list ~jobs:domain_count
+          (attempt_job ~retry ~sleep ~execute spec)
+          batch
+      in
       List.iter2
         (fun (j : Spec.job) row ->
-          Store.append store ~id:j.Spec.id row;
+          let poison = row_failed row && retry.max_attempts > 1 in
+          if poison then Store.append (force_qstore ()) ~id:j.Spec.id row
+          else Store.append store ~id:j.Spec.id row;
           incr executed;
           if row_failed row then incr failed)
         batch rows;
-      on_progress ~completed:(Store.count store) ~total)
+      on_progress ~completed:(settled ()) ~total)
     (batches (max 1 domain_count) pending);
   (!executed, !failed)
 
@@ -266,24 +376,67 @@ let series_points (spec : Spec.t) store =
       (Spec.algo_name algo, points))
     spec.Spec.algos
 
-let report (spec : Spec.t) store =
+(* The quarantine sibling participates in reports (and degradation)
+   whenever it exists; [?quarantine] lets callers supply an
+   already-open handle instead. *)
+let quarantine_rows ?quarantine store =
+  match quarantine with
+  | Some q -> parsed_rows q
+  | None ->
+    let qp = quarantine_path store in
+    if Sys.file_exists qp then parsed_rows (Store.load ~lock:false ~path:qp ()) else []
+
+(* A series degrades when its surviving ok rows can no longer support
+   the verdicts built on them: fewer than two distinct sizes (no slope
+   to fit) or less than half of the expected cells. *)
+let series_degraded (spec : Spec.t) rows algo =
+  let cells = List.filter (fun (j : Spec.job) -> j.Spec.algo = algo) (Spec.jobs spec) in
+  let expected = List.length cells in
+  let ok_cells = List.filter (fun j -> ok_points rows j <> None) cells in
+  let distinct_sizes =
+    List.sort_uniq Int.compare (List.map (fun (j : Spec.job) -> j.Spec.n) ok_cells)
+  in
+  expected > 0 && (List.length distinct_sizes < 2 || 2 * List.length ok_cells < expected)
+
+let degraded_series (spec : Spec.t) store =
+  let rows = parsed_rows store in
+  List.filter_map
+    (fun algo ->
+      if series_degraded spec rows algo then Some (Spec.algo_name algo) else None)
+    spec.Spec.algos
+
+let report ?quarantine (spec : Spec.t) store =
   let module J = Telemetry.Tjson in
   let rows = parsed_rows store in
+  let qrows = quarantine_rows ?quarantine store in
   let all = Spec.jobs spec in
-  let status_of (j : Spec.job) =
+  let find_status rows (j : Spec.job) =
     List.find_map
       (fun (id, _, v) ->
         if id = j.Spec.id then Option.bind (Hjson.member "status" v) Hjson.to_string_opt
         else None)
       rows
   in
-  let ok = ref 0 and failed = ref 0 and missing = ref 0 in
+  let status_of j = find_status rows j in
+  let attempts_of (j : Spec.job) rows =
+    List.find_map
+      (fun (id, _, v) ->
+        if id = j.Spec.id then Option.bind (Hjson.member "attempts" v) Hjson.to_int_opt
+        else None)
+      rows
+  in
+  let ok = ref 0 and failed = ref 0 and timeout = ref 0 and missing = ref 0 in
+  let quarantined = ref 0 in
   List.iter
     (fun j ->
       match status_of j with
       | Some "ok" -> incr ok
+      | Some "timeout" ->
+        (* A timeout is a failure for exit purposes, surfaced separately. *)
+        incr failed;
+        incr timeout
       | Some _ -> incr failed
-      | None -> incr missing)
+      | None -> if find_status qrows j <> None then incr quarantined else incr missing)
     all;
   (* Per-series metric registries, merged into one snapshot — counters
      and histogram buckets add across series. *)
@@ -293,16 +446,29 @@ let report (spec : Spec.t) store =
         let m = Telemetry.Metrics.create () in
         List.iter
           (fun (j : Spec.job) ->
-            if j.Spec.algo = algo then
-              match ok_points rows j with
+            if j.Spec.algo = algo then begin
+              (match ok_points rows j with
               | Some (_, rounds) ->
                 Telemetry.Metrics.incr m "sweep.jobs.ok";
                 Telemetry.Metrics.add m "sweep.rounds.total" rounds;
                 Telemetry.Metrics.observe m "sweep.rounds" rounds
               | None -> (
                 match status_of j with
+                | Some "timeout" ->
+                  Telemetry.Metrics.incr m "sweep.jobs.failed";
+                  Telemetry.Metrics.incr m "sweep.jobs.timeout"
                 | Some _ -> Telemetry.Metrics.incr m "sweep.jobs.failed"
-                | None -> ()))
+                | None ->
+                  if find_status qrows j <> None then
+                    Telemetry.Metrics.incr m "sweep.jobs.quarantined"));
+              match
+                (attempts_of j rows, attempts_of j qrows)
+              with
+              | Some a, _ | None, Some a ->
+                Telemetry.Metrics.add m "sweep.attempts.total" a;
+                if a > 1 then Telemetry.Metrics.incr m "sweep.jobs.retried"
+              | None, None -> ()
+            end)
           all;
         Telemetry.Metrics.merge acc (Telemetry.Metrics.snapshot m))
       Telemetry.Metrics.empty spec.Spec.algos
@@ -319,6 +485,7 @@ let report (spec : Spec.t) store =
           ("ci_hi", J.float f.Fit.ci.Fit.hi);
         ]
   in
+  let degraded_names = degraded_series spec store in
   let series =
     List.map
       (fun (name, points) ->
@@ -328,11 +495,16 @@ let report (spec : Spec.t) store =
             ( "points",
               J.arr (List.map (fun (x, y) -> J.arr [ J.float x; J.float y ]) points) );
             ("fit", fit_json (Fit.fit_series ~seed:(Fit.seed_of_series name) points));
+            ("degraded", J.bool (List.mem name degraded_names));
           ])
       (series_points spec store)
   in
   let sorted_rows =
     List.sort (fun (a, _, _) (b, _, _) -> compare a b) rows
+    |> List.map (fun (_, raw, _) -> raw)
+  in
+  let sorted_quarantine =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) qrows
     |> List.map (fun (_, raw, _) -> raw)
   in
   J.obj
@@ -344,8 +516,12 @@ let report (spec : Spec.t) store =
       ("total", J.int (List.length all));
       ("ok", J.int !ok);
       ("failed", J.int !failed);
+      ("timeout", J.int !timeout);
+      ("quarantined", J.int !quarantined);
       ("missing", J.int !missing);
+      ("degraded", J.arr (List.map J.str degraded_names));
       ("series", J.arr series);
       ("metrics", Telemetry.Metrics.to_json merged);
       ("rows", J.arr sorted_rows);
+      ("quarantine_rows", J.arr sorted_quarantine);
     ]

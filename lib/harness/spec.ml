@@ -138,14 +138,6 @@ let geometric ~n_min ~n_max ~factor =
 
 type job = { id : string; algo : algo; n : int; seed : int }
 
-let fnv1a64 s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun ch -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) prime)
-    s;
-  !h
-
 (* The content a job id commits to: everything that determines the
    job's result, nothing that doesn't (not the spec name, not the
    rest of the grid). Bump [current_version] if this ever changes. *)
@@ -157,7 +149,7 @@ let job_key t algo ~n ~seed =
     (Telemetry.Tjson.float t.faults.duplicate)
     t.faults.fault_seed
 
-let job_id t algo ~n ~seed = Printf.sprintf "%016Lx" (fnv1a64 (job_key t algo ~n ~seed))
+let job_id t algo ~n ~seed = Fnv.hex64 (job_key t algo ~n ~seed)
 
 let jobs t =
   List.concat_map

@@ -1,49 +1,86 @@
 (** Append-only JSONL checkpoint store for sweep runs.
 
     One line per completed job: a single-line JSON object whose ["id"]
-    field is the job's content hash ({!Spec.job_id}). The format is
-    crash-tolerant by construction:
+    field is the job's content hash ({!Spec.job_id}), framed on disk
+    with a trailing ["crc"] member holding the FNV-1a64 checksum of
+    the logical row (the [qcongest-sweep-row/v2] on-disk format;
+    unframed v1 lines still load). The format is crash- and
+    corruption-tolerant by construction:
 
-    - {b appends} are a single [write] of one line followed by a
-      flush, so a kill can at worst leave one partial trailing line;
-    - {b loads} parse the file line by line and {e truncate the
-      corrupt tail}: the first line that is not a well-formed row
-      (and everything after it) is dropped, and the file is rewritten
-      to the surviving prefix with an atomic tmp-rename
+    - {b appends} are a single [write] of one framed line followed by
+      a flush (and, in [~fsync:true] mode, an [fsync]), so a kill can
+      at worst leave one partial trailing line;
+    - {b loads} verify every line's checksum. A damaged {e mid-file}
+      line (bit flip, spliced foreign row, truncated row, duplicate
+      id) is {e quarantined} to the sibling [*.corrupt.jsonl] — the
+      valid rows around it survive. An unterminated {e final} line is
+      a partial append and is truncated. Either repair rewrites the
+      store to exactly the surviving rows with an atomic tmp-rename
       ({!Telemetry.Export.write_file_atomic});
+    - {b a lock file} ([path ^ ".lock"], stamped with the holder pid)
+      keeps two concurrent runner processes from interleaving appends;
+      stale locks left by dead processes are stolen silently;
     - {b resume} is a set-membership test: {!mem} tells the runner
       which job ids are already settled, so re-running an interrupted
-      sweep executes exactly the missing jobs. Because each row is a
-      deterministic function of its job, an interrupted-then-resumed
-      sweep ends with a store whose row {e set} — and therefore the
-      report generated from it — is byte-identical to an
-      uninterrupted run's. *)
+      sweep executes exactly the missing jobs. Because each row (and
+      its framing) is a deterministic function of its job, an
+      interrupted-then-resumed sweep ends with a store whose row
+      {e set} — and therefore the report generated from it — is
+      byte-identical to an uninterrupted run's. *)
 
 type t
 
-val load : path:string -> t
-(** Open (or create empty) the store at [path], truncating any corrupt
-    tail as described above. Raises [Sys_error] only on genuine I/O
+exception Locked of { lock_path : string; holder : int }
+(** Raised by {!load} when a different live process holds the lock. *)
+
+val load : ?fsync:bool -> ?lock:bool -> path:string -> unit -> t
+(** Open (or create empty) the store at [path], quarantining corrupt
+    mid-file lines and truncating a partial tail as described above.
+    [~fsync] (default [false]) makes every subsequent {!append} — and
+    any repair rewrite — force data to disk before returning.
+    [~lock] (default [true]) acquires the single-runner lock, raising
+    {!Locked} if a different live process holds it; the same process
+    may re-open freely. Raises [Sys_error] only on genuine I/O
     failure, never on corruption. *)
+
+val close : t -> unit
+(** Release the lock (if this handle acquired it). Idempotent; a
+    process that exits without closing leaves a stale lock that the
+    next runner steals. *)
 
 val path : t -> string
 
+val corrupt_path : t -> string
+(** The sibling file quarantined corrupt lines are appended to. *)
+
+val sibling : string -> tag:string -> string
+(** [sibling "runs/x.jsonl" ~tag:"quarantine"] is
+    ["runs/x.quarantine.jsonl"] (non-[.jsonl] paths get [".tag"]
+    appended). Shared naming scheme for per-store side files. *)
+
 val append : t -> id:string -> string -> unit
-(** Persist one row. [row] must be a single-line JSON object whose
-    ["id"] field equals [id] (checked; raises [Invalid_argument]
-    otherwise, as does a duplicate or embedded-newline row). The line
-    is on disk when [append] returns. *)
+(** Persist one row. [row] must be a single-line JSON object, ending
+    in ['}'], whose ["id"] field equals [id] (checked; raises
+    [Invalid_argument] otherwise, as does a duplicate or
+    embedded-newline row). Durability: the line has left the process
+    (written and flushed to the OS) when [append] returns; it is
+    guaranteed on disk only when the store was opened with
+    [~fsync:true], which pays one [fsync] per append. *)
 
 val mem : t -> string -> bool
 (** Is a row with this job id present? *)
 
 val find : t -> string -> string option
-(** The raw row for a job id. *)
+(** The logical row for a job id (checksum framing stripped). *)
 
 val rows : t -> (string * string) list
-(** All [(id, row)] pairs in insertion order. *)
+(** All [(id, row)] pairs in insertion order, framing stripped. *)
 
 val count : t -> int
 
 val dropped_lines : t -> int
-(** Corrupt lines discarded by {!load} (0 after a clean shutdown). *)
+(** Partial trailing lines truncated by {!load} (0 or 1). *)
+
+val quarantined_lines : t -> int
+(** Corrupt mid-file lines moved to {!corrupt_path} by {!load}
+    (0 after a clean shutdown). *)

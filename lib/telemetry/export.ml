@@ -24,14 +24,16 @@ let write_file ~path content =
   output_string oc content;
   close_out oc
 
-let write_file_atomic ~path content =
+let write_file_atomic ?(fsync = false) ~path content =
   mkdir_p (Filename.dirname path);
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc content;
-  (* Data must hit the disk before the rename publishes it, or a crash
-     could leave a complete-looking but empty file. *)
+  (* The flush hands the bytes to the OS before the rename publishes
+     them; only an [fsync] forces them onto the platter first, so a
+     power cut cannot leave a complete-looking but stale file. *)
   flush oc;
+  if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
   close_out oc;
   Sys.rename tmp path
 

@@ -25,9 +25,11 @@ val mkdir_p : string -> unit
 
 val write_file : path:string -> string -> unit
 
-val write_file_atomic : path:string -> string -> unit
+val write_file_atomic : ?fsync:bool -> path:string -> string -> unit
 (** Write to [path ^ ".tmp"] then rename over [path]: readers never
-    observe a half-written file. Used for every checkpoint/report
+    observe a half-written file. [~fsync] (default [false]) forces the
+    data to disk before the rename, upgrading crash-atomicity from
+    "process kill" to "power loss". Used for every checkpoint/report
     rewrite in the sweep harness. *)
 
 val write_artifact : ?dir:string -> name:string -> string -> string

@@ -6,13 +6,23 @@ let set_default_jobs j =
   if j < 1 then invalid_arg "Domain_pool.set_default_jobs: jobs < 1";
   configured := Some j
 
-let default_jobs () =
+let validate_env () =
   match Sys.getenv_opt env_var with
+  | None -> Ok None
   | Some s -> (
     match int_of_string_opt (String.trim s) with
-    | Some j when j >= 1 -> j
-    | _ -> invalid_arg (Printf.sprintf "Domain_pool: %s=%S is not a positive integer" env_var s))
-  | None -> (
+    | Some j when j >= 1 -> Ok (Some j)
+    | Some _ | None ->
+      Error
+        (Printf.sprintf
+           "%s=%S is not a positive integer (set it to a worker count >= 1, or unset it)"
+           env_var s))
+
+let default_jobs () =
+  match validate_env () with
+  | Ok (Some j) -> j
+  | Error msg -> invalid_arg ("Domain_pool: " ^ msg)
+  | Ok None -> (
     match !configured with
     | Some j -> j
     | None -> max 1 (Domain.recommended_domain_count ()))

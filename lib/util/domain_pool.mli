@@ -22,10 +22,17 @@ val set_default_jobs : int -> unit
 (** Process-wide default used when neither [?jobs] nor the environment
     variable is set (wired to [--jobs] flags). Raises on [jobs < 1]. *)
 
+val validate_env : unit -> (int option, string) result
+(** Eager [QCONGEST_JOBS] validation for process startup: [Ok None]
+    when unset, [Ok (Some j)] when it parses to a positive worker
+    count, [Error message] otherwise. The CLI calls this before
+    dispatching so a typo fails fast with a clear usage error instead
+    of an [Invalid_argument] deep inside the first sweep batch. *)
+
 val default_jobs : unit -> int
 (** The resolved default job count (always [>= 1]). Raises
     [Invalid_argument] if [QCONGEST_JOBS] is set but not a positive
-    integer. *)
+    integer (see {!validate_env}). *)
 
 val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)

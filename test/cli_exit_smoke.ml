@@ -42,6 +42,20 @@ let () =
   (* 2: usage errors the sweep layer detects itself. *)
   expect ~what:"unknown built-in spec" 2 (sweep "run --builtin no-such-spec");
   expect ~what:"unreadable spec file" 2 (sweep "run --spec /nonexistent/spec.json");
+  expect ~what:"--retries below 1" 2 (sweep "run --builtin ci-smoke --retries 0");
+
+  (* 2: a malformed QCONGEST_JOBS is rejected at startup, before any
+     command dispatch, with a clear message. *)
+  expect ~what:"invalid QCONGEST_JOBS fails fast" 2
+    (Printf.sprintf "QCONGEST_JOBS=banana %s sweep run --builtin ci-smoke --max-jobs 0" exe);
+
+  (* 2: a checkpoint store held by another live process is refused. *)
+  let locked_path = Filename.concat dir "locked.jsonl" in
+  Out_channel.with_open_text (locked_path ^ ".lock") (fun oc ->
+      output_string oc (string_of_int (Unix.getpid ()) ^ "\n"));
+  expect ~what:"store locked by a live process" 2
+    (sweep
+       (Printf.sprintf "report --builtin ci-smoke --store %s" (Filename.quote locked_path)));
 
   (* 3: the negative control — synthesized mis-scaled series that a
      healthy gate must reject. *)
@@ -83,7 +97,7 @@ let () =
   let spec_path = Filename.concat dir "exit-smoke-failed.spec.json" in
   Out_channel.with_open_text spec_path (fun oc ->
       output_string oc (Harness.Spec.to_json failing));
-  let store = Harness.Store.load ~path:(Filename.concat dir "exit-smoke-failed.jsonl") in
+  let store = Harness.Store.load ~path:(Filename.concat dir "exit-smoke-failed.jsonl") () in
   List.iter
     (fun (j : Harness.Spec.job) ->
       Harness.Store.append store ~id:j.Harness.Spec.id
@@ -91,6 +105,8 @@ let () =
            [ ("id", Telemetry.Tjson.str j.Harness.Spec.id);
              ("status", Telemetry.Tjson.str "failed") ]))
     (Harness.Spec.jobs failing);
+  (* Release the lock before the CLI subprocess opens the store. *)
+  Harness.Store.close store;
   expect ~what:"complete store with failures exits 1" 1
     (sweep (Printf.sprintf "run --spec %s" (Filename.quote spec_path)));
 

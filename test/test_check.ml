@@ -211,7 +211,7 @@ let sweep_spec =
 let temp_store () =
   let path = Filename.temp_file "qcongest_check" ".jsonl" in
   Sys.remove path;
-  Harness.Store.load ~path
+  Harness.Store.load ~path ()
 
 let test_sweep_audit () =
   let store = temp_store () in
@@ -276,6 +276,31 @@ let test_expected_exact_matches_rows () =
     (Harness.Spec.jobs sweep_spec);
   (try Sys.remove (Harness.Store.path store) with Sys_error _ -> ())
 
+(* ---------------------------- resilience --------------------------- *)
+
+let test_resilience_certifies () =
+  let report = Check.Suite.chaos ~seed:11 ~deadline_s:0.05 () in
+  check "four certificates" 4 (List.length report.Check.Report.certificates);
+  List.iter
+    (fun (c : Check.Report.certificate) ->
+      Alcotest.check status
+        (c.Check.Report.name ^ " certifies")
+        Check.Report.Pass c.Check.Report.status)
+    report.Check.Report.certificates;
+  check "exit 0" 0 (Check.Report.exit_code report)
+
+let test_resilience_negative_controls () =
+  (* Every staged sabotage — deleted row, unarmed deadline, ignored
+     retry policy, lost quarantine file — must be caught. *)
+  let report = Check.Suite.chaos ~seed:11 ~deadline_s:0.05 ~negative_control:true () in
+  List.iter
+    (fun (c : Check.Report.certificate) ->
+      Alcotest.check status
+        (c.Check.Report.name ^ " rejects its sabotage")
+        Check.Report.Fail c.Check.Report.status)
+    report.Check.Report.certificates;
+  check "exit 1" 1 (Check.Report.exit_code report)
+
 (* ------------------------------ suite ------------------------------ *)
 
 let test_suite_selection () =
@@ -322,6 +347,12 @@ let () =
           Alcotest.test_case "store audit" `Quick test_sweep_audit;
           Alcotest.test_case "oracle agrees with runner" `Quick
             test_expected_exact_matches_rows;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "chaos invariants hold" `Slow test_resilience_certifies;
+          Alcotest.test_case "negative controls reject" `Slow
+            test_resilience_negative_controls;
         ] );
       ("suite", [ Alcotest.test_case "selection" `Quick test_suite_selection ]);
     ]

@@ -506,6 +506,29 @@ let test_reliable_gives_up_on_crashed_peer () =
   check "retransmissions measured" 4 trace.Engine.messages;
   check "all lost" 4 trace.Engine.dropped
 
+let test_reliable_retry_cap_structured () =
+  (* An adversary that drops one edge forever: the retransmission cap
+     turns an unbounded loop into a bounded, structured give-up. *)
+  let g = unit_path 2 in
+  let faults = Fault.make ~seed:4 ~drop:1.0 () in
+  let config = { Reliable.default_config with Reliable.max_retries = 4 } in
+  let states, trace = Engine.run ~faults g (Reliable.wrap ~config relay_protocol) in
+  check "sender gave up" 1 (Reliable.given_up states.(0));
+  (match Reliable.abandoned states.(0) with
+  | [ gu ] ->
+    check "destination" 1 gu.Reliable.gu_dst;
+    check "sequence" 0 gu.Reliable.gu_seq;
+    check "retries spent = cap" 4 gu.Reliable.gu_retries;
+    checkb "give-up round recorded" true (gu.Reliable.gu_round > 0)
+  | l -> Alcotest.fail (Printf.sprintf "expected one give-up, got %d" (List.length l)));
+  (* 1 original + max_retries retransmissions, then silence. *)
+  check "bounded retransmissions" 5 trace.Engine.messages;
+  check "all dropped" 5 trace.Engine.dropped;
+  checkb "terminates well before the round limit" true (trace.Engine.rounds < 200);
+  (* The receiver never saw the payload — the failure is observable,
+     not silent. *)
+  Alcotest.(check (option int)) "payload lost" None (Reliable.inner states.(1)).got
+
 (* ------------------------------- Tree ------------------------------ *)
 
 let test_tree_structure () =
@@ -691,6 +714,99 @@ let prop_engine_equals_reference =
         (fun (_, faults) -> engines_agree ?faults g exerciser_protocol)
         (adversary_classes seed))
 
+(* ----------------------------- Deadlines --------------------------- *)
+
+(* A protocol that never quiesces: one self-wake per round, advancing
+   a manual clock by one simulated second per activation — so deadline
+   behaviour is asserted exactly, with no wall-clock flakiness. *)
+let ticking_protocol advance : (int, unit) Engine.protocol =
+  {
+    name = "ticker";
+    size_words = (fun () -> 1);
+    init = (fun _ -> (0, Engine.act ~wakes:[ 1 ] ()));
+    on_round =
+      (fun _ ~round s ~inbox:_ ->
+        advance 1.0;
+        (s + 1, Engine.act ~wakes:[ round + 1 ] ()));
+  }
+
+let test_deadline_fires () =
+  let g = unit_path 2 in
+  let clock, advance = Telemetry.Clock.manual () in
+  match Engine.run ~deadline:5.0 ~clock ~max_rounds:1000 g (ticking_protocol advance) with
+  | _ -> Alcotest.fail "ticker quiesced under a deadline"
+  | exception Engine.Deadline_exceeded info ->
+    checkb "protocol named" true (info.Engine.deadline_protocol = "ticker");
+    Alcotest.(check (float 1e-9)) "budget carried exactly" 5.0 info.Engine.budget_s;
+    checkb "elapsed past budget" true (info.Engine.elapsed_s > 5.0);
+    checkb "round recorded" true (info.Engine.round_at_deadline > 0);
+    (* The partial trace covers the work done before the cut (the
+       ticker never sends, so activations are its footprint). *)
+    checkb "partial trace activations" true
+      (info.Engine.partial_trace.Engine.activations >= 5)
+
+let test_deadline_zero_budget () =
+  let g = unit_path 2 in
+  let clock, advance = Telemetry.Clock.manual () in
+  checkb "zero budget cuts at the first over-budget round" true
+    (match Engine.run ~deadline:0.0 ~clock ~max_rounds:1000 g (ticking_protocol advance) with
+    | _ -> false
+    | exception Engine.Deadline_exceeded _ -> true)
+
+let test_deadline_invalid () =
+  let g = unit_path 2 in
+  let expect_invalid d =
+    match Engine.run ~deadline:d g relay_protocol with
+    | _ -> Alcotest.fail "invalid deadline accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid (-1.0);
+  expect_invalid Float.nan;
+  expect_invalid Float.infinity
+
+let test_deadline_ambient () =
+  (* with_deadline supervises Engine.run calls it cannot reach through
+     the call stack — the Runner-to-algorithm path. *)
+  let g = unit_path 2 in
+  let clock, advance = Telemetry.Clock.manual () in
+  checkb "ambient deadline fires" true
+    (match
+       Engine.with_deadline ~clock ~seconds:3.0 (fun () ->
+           Engine.run ~max_rounds:1000 g (ticking_protocol advance))
+     with
+    | _ -> false
+    | exception Engine.Deadline_exceeded info -> info.Engine.budget_s = 3.0);
+  (* The ambient budget is restored on exit: a second run is free. *)
+  let states, _ = Engine.run g relay_protocol in
+  Alcotest.(check (option int)) "unsupervised after exit" (Some 1) states.(1).got;
+  (* A nested wider budget cannot extend an outer tighter one. *)
+  let clock2, advance2 = Telemetry.Clock.manual () in
+  checkb "nested budgets only shrink" true
+    (match
+       Engine.with_deadline ~clock:clock2 ~seconds:2.0 (fun () ->
+           Engine.with_deadline ~clock:clock2 ~seconds:1000.0 (fun () ->
+               Engine.run ~max_rounds:1000 g (ticking_protocol advance2)))
+     with
+    | _ -> false
+    | exception Engine.Deadline_exceeded info -> info.Engine.budget_s <= 2.0)
+
+let test_deadline_unset_is_identity () =
+  (* The acceptance pin: a generous deadline that never fires must be
+     observationally invisible — same states, trace and event stream
+     as the default engine and the reference engine. *)
+  let g = unit_path 8 in
+  List.iter
+    (fun (label, faults) ->
+      let sink1, drain1 = Telemetry.Events.collector () in
+      let s1, t1 = Engine.run ?faults ~sink:sink1 g exerciser_protocol in
+      let sink2, drain2 = Telemetry.Events.collector () in
+      let s2, t2 = Engine.run ?faults ~deadline:3600.0 ~sink:sink2 g exerciser_protocol in
+      checkb (label ^ ": generous deadline invisible") true
+        (s1 = s2 && t1 = t2 && drain1 () = drain2 ());
+      checkb (label ^ ": supervised engine = reference") true
+        (engines_agree ?faults g exerciser_protocol))
+    (adversary_classes 99)
+
 (* ------------------------------ Runner ----------------------------- *)
 
 let test_runner () =
@@ -796,6 +912,8 @@ let () =
             test_reliable_gather_broadcast_under_drop;
           Alcotest.test_case "gives up on crashed peer" `Quick
             test_reliable_gives_up_on_crashed_peer;
+          Alcotest.test_case "retry cap is structured" `Quick
+            test_reliable_retry_cap_structured;
         ] );
       ( "tree",
         [
@@ -809,6 +927,15 @@ let () =
         [
           Alcotest.test_case "engine = reference on pinned scenarios" `Quick
             test_engine_equals_reference_pinned;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "fires with manual clock" `Quick test_deadline_fires;
+          Alcotest.test_case "zero budget" `Quick test_deadline_zero_budget;
+          Alcotest.test_case "invalid budgets rejected" `Quick test_deadline_invalid;
+          Alcotest.test_case "ambient with_deadline" `Quick test_deadline_ambient;
+          Alcotest.test_case "unset/generous deadline is identity" `Quick
+            test_deadline_unset_is_identity;
         ] );
       ( "runner",
         [

@@ -197,12 +197,12 @@ let row ~id fields =
 
 let test_store_roundtrip () =
   let path = temp_store_path () in
-  let s = Harness.Store.load ~path in
+  let s = Harness.Store.load ~path () in
   check "empty" 0 (Harness.Store.count s);
   Harness.Store.append s ~id:"a" (row ~id:"a" [ ("v", "1") ]);
   Harness.Store.append s ~id:"b" (row ~id:"b" [ ("v", "2") ]);
   checkb "mem" true (Harness.Store.mem s "a");
-  let s' = Harness.Store.load ~path in
+  let s' = Harness.Store.load ~path () in
   check "reload count" 2 (Harness.Store.count s');
   checkb "order preserved" true (List.map fst (Harness.Store.rows s') = [ "a"; "b" ]);
   checkb "find" true (Harness.Store.find s' "b" = Some (row ~id:"b" [ ("v", "2") ]));
@@ -210,39 +210,131 @@ let test_store_roundtrip () =
 
 let test_store_corrupt_tail () =
   let path = temp_store_path () in
-  let s = Harness.Store.load ~path in
+  let s = Harness.Store.load ~path () in
   Harness.Store.append s ~id:"a" (row ~id:"a" []);
   Harness.Store.append s ~id:"b" (row ~id:"b" []);
   (* Simulate a crash mid-append: a partial last line. *)
   let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
   output_string oc "{\"id\":\"c\",\"tru";
   close_out oc;
-  let s' = Harness.Store.load ~path in
+  let s' = Harness.Store.load ~path () in
   check "valid prefix kept" 2 (Harness.Store.count s');
   check "tail dropped" 1 (Harness.Store.dropped_lines s');
   (* The truncating load rewrote the file: a fresh load is clean. *)
-  let s'' = Harness.Store.load ~path in
+  let s'' = Harness.Store.load ~path () in
   check "rewrite clean" 0 (Harness.Store.dropped_lines s'');
   check "rewrite kept rows" 2 (Harness.Store.count s'');
   (* Resume can fill the truncated job back in. *)
   Harness.Store.append s'' ~id:"c" (row ~id:"c" []);
-  check "resumed" 3 (Harness.Store.count (Harness.Store.load ~path));
+  check "resumed" 3 (Harness.Store.count (Harness.Store.load ~path ()));
   Sys.remove path
 
 let test_store_garbage_middle () =
   let path = temp_store_path () in
   Telemetry.Export.write_file ~path
     (row ~id:"a" [] ^ "\nnot json at all\n" ^ row ~id:"b" [] ^ "\n");
-  let s = Harness.Store.load ~path in
-  (* Everything from the first bad line on is dropped — a valid row
-     after corruption cannot be trusted to belong to this sweep. *)
-  check "prefix only" 1 (Harness.Store.count s);
-  check "dropped" 2 (Harness.Store.dropped_lines s);
+  let s = Harness.Store.load ~path () in
+  (* Rows carry their own checksum, so a valid row after a corrupt
+     line is provably intact: the bad line is quarantined to the
+     corrupt sibling and both real rows survive. *)
+  check "rows kept" 2 (Harness.Store.count s);
+  check "quarantined" 1 (Harness.Store.quarantined_lines s);
+  check "no tail drop" 0 (Harness.Store.dropped_lines s);
+  checkb "corrupt sibling" true (Sys.file_exists (Harness.Store.corrupt_path s));
+  (* The repairing load rewrote the file: a fresh load is clean. *)
+  let s' = Harness.Store.load ~path () in
+  check "repair clean" 0 (Harness.Store.quarantined_lines s');
+  check "repair kept rows" 2 (Harness.Store.count s');
+  Sys.remove (Harness.Store.corrupt_path s);
+  Sys.remove path
+
+let test_store_v1_compat_v2_frames () =
+  let path = temp_store_path () in
+  (* Legacy v1 store: bare rows, no crc member. *)
+  Telemetry.Export.write_file ~path (row ~id:"a" [ ("v", "1") ] ^ "\n" ^ row ~id:"b" [] ^ "\n");
+  let s = Harness.Store.load ~path () in
+  check "v1 rows load" 2 (Harness.Store.count s);
+  checkb "logical row unchanged" true
+    (Harness.Store.find s "a" = Some (row ~id:"a" [ ("v", "1") ]));
+  (* New appends are v2-framed on disk but logically unframed. *)
+  Harness.Store.append s ~id:"c" (row ~id:"c" []);
+  Harness.Store.close s;
+  let last_line =
+    List.hd (List.rev (String.split_on_char '\n' (String.trim (In_channel.with_open_bin path In_channel.input_all))))
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  checkb "on-disk frame has crc" true (contains last_line "\"crc\":\"");
+  let s' = Harness.Store.load ~path () in
+  checkb "framed row reads back unframed" true
+    (Harness.Store.find s' "c" = Some (row ~id:"c" []));
+  Sys.remove path
+
+let test_store_checksum_detects_bitflip () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~path () in
+  Harness.Store.append s ~id:"a" (row ~id:"a" [ ("v", "1") ]);
+  Harness.Store.append s ~id:"b" (row ~id:"b" [ ("v", "2") ]);
+  Harness.Store.append s ~id:"c" (row ~id:"c" [ ("v", "3") ]);
+  Harness.Store.close s;
+  (* Flip one byte in the middle row's payload. *)
+  (match String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all) with
+  | [ a; b; c; "" ] ->
+    let bb = Bytes.of_string b in
+    let i = String.length b / 2 in
+    Bytes.set bb i (Char.chr (Char.code (Bytes.get bb i) lxor 1));
+    Telemetry.Export.write_file ~path
+      (String.concat "\n" [ a; Bytes.to_string bb; c ] ^ "\n")
+  | _ -> Alcotest.fail "expected 3 framed lines");
+  let s' = Harness.Store.load ~path () in
+  check "damaged row quarantined" 1 (Harness.Store.quarantined_lines s');
+  check "intact rows survive" 2 (Harness.Store.count s');
+  checkb "a survives" true (Harness.Store.mem s' "a");
+  checkb "c survives" true (Harness.Store.mem s' "c");
+  checkb "b gone" false (Harness.Store.mem s' "b");
+  (* The damaged job can be filled back in. *)
+  Harness.Store.append s' ~id:"b" (row ~id:"b" [ ("v", "2") ]);
+  check "resumed" 3 (Harness.Store.count (Harness.Store.load ~path ()));
+  Sys.remove (Harness.Store.corrupt_path s');
+  Sys.remove path
+
+let test_store_lock () =
+  let path = temp_store_path () in
+  checks "sibling naming" "x.quarantine.jsonl"
+    (Harness.Store.sibling "x.jsonl" ~tag:"quarantine");
+  let lock_path = path ^ ".lock" in
+  (* A live foreign holder (pid 1 always exists) blocks the load. *)
+  Telemetry.Export.write_file ~path:lock_path "1\n";
+  (match Harness.Store.load ~path () with
+  | exception Harness.Store.Locked { holder; _ } -> check "holder pid" 1 holder
+  | _ -> Alcotest.fail "load ignored a live lock");
+  (* A stale holder (dead pid) is evicted and the lock taken over. *)
+  Telemetry.Export.write_file ~path:lock_path "999999999\n";
+  let s = Harness.Store.load ~path () in
+  Harness.Store.append s ~id:"a" (row ~id:"a" []);
+  (* Same-process reload is re-entrant (the tests' resume pattern). *)
+  let s' = Harness.Store.load ~path () in
+  check "re-entrant reload" 1 (Harness.Store.count s');
+  Harness.Store.close s';
+  Harness.Store.close s;
+  checkb "close releases the lock" false (Sys.file_exists lock_path);
+  Sys.remove path
+
+let test_store_fsync_mode () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~fsync:true ~path () in
+  Harness.Store.append s ~id:"a" (row ~id:"a" []);
+  Harness.Store.append s ~id:"b" (row ~id:"b" []);
+  Harness.Store.close s;
+  check "durable rows read back" 2 (Harness.Store.count (Harness.Store.load ~path ()));
   Sys.remove path
 
 let test_store_append_validation () =
   let path = temp_store_path () in
-  let s = Harness.Store.load ~path in
+  let s = Harness.Store.load ~path () in
   Harness.Store.append s ~id:"a" (row ~id:"a" []);
   let expect_invalid f =
     match f () with
@@ -343,7 +435,7 @@ let test_protect_exception () =
 
 let run_to_fresh_store ?max_jobs spec =
   let path = temp_store_path () in
-  let store = Harness.Store.load ~path in
+  let store = Harness.Store.load ~path () in
   let _ = Harness.Runner.run ~jobs:1 ?max_jobs spec store in
   store
 
@@ -380,7 +472,7 @@ let test_runner_jobs_determinism () =
   let spec = small_spec in
   let s1 = run_to_fresh_store spec in
   let path = temp_store_path () in
-  let s4 = Harness.Store.load ~path in
+  let s4 = Harness.Store.load ~path () in
   let _ = Harness.Runner.run ~jobs:4 spec s4 in
   checks "jobs=1 equals jobs=4" (store_bytes s1) (store_bytes s4);
   checks "reports equal" (Harness.Runner.report spec s1) (Harness.Runner.report spec s4);
@@ -409,9 +501,9 @@ let prop_kill_resume =
       (* Interrupted arm: k jobs, then resume with a different domain
          count (resume must not depend on it). *)
       let path = temp_store_path () in
-      let s = Harness.Store.load ~path in
+      let s = Harness.Store.load ~path () in
       let _ = Harness.Runner.run ~jobs:1 ~max_jobs:kill_after spec s in
-      let resumed = Harness.Store.load ~path in
+      let resumed = Harness.Store.load ~path () in
       let _ = Harness.Runner.run ~jobs spec resumed in
       let same_bytes = store_bytes uninterrupted = store_bytes resumed in
       let same_report =
@@ -420,6 +512,241 @@ let prop_kill_resume =
       Sys.remove (Harness.Store.path uninterrupted);
       Sys.remove path;
       same_bytes && same_report)
+
+(* --------------------------- Supervision --------------------------- *)
+
+let test_protect_deadline () =
+  let j = job_of small_spec in
+  let info =
+    { Congest.Engine.deadline_protocol = "stuck"; round_at_deadline = 17;
+      elapsed_s = 0.06; budget_s = 0.05; partial_trace = Congest.Engine.empty_trace }
+  in
+  let r =
+    Harness.Runner.protect ~attempt:2 j (fun () ->
+        raise (Congest.Engine.Deadline_exceeded info))
+  in
+  let v = Harness.Hjson.parse_exn r in
+  let str f = Option.bind (Harness.Hjson.member f v) Harness.Hjson.to_string_opt in
+  checkb "timeout row" true (str "status" = Some "timeout");
+  checkb "schema v2" true (str "schema" = Some "qcongest-sweep-row/v2");
+  check "attempt recorded" 2
+    (Option.get (Option.bind (Harness.Hjson.member "attempts" v) Harness.Hjson.to_int_opt));
+  let err = Option.get (Harness.Hjson.member "error" v) in
+  checkb "kind" true
+    (Option.bind (Harness.Hjson.member "kind" err) Harness.Hjson.to_string_opt
+    = Some "deadline");
+  check "round" 17
+    (Option.get (Option.bind (Harness.Hjson.member "round" err) Harness.Hjson.to_int_opt))
+
+let test_backoff_schedule () =
+  let retry =
+    { Harness.Runner.max_attempts = 4; backoff_s = 0.05; multiplier = 2.0;
+      jitter = 0.25; retry_seed = 3 }
+  in
+  let sched id = Harness.Runner.backoff_schedule retry ~job_id:id in
+  check "max_attempts - 1 delays" 3 (List.length (sched "job-a"));
+  checkb "pure function of (policy, job id)" true (sched "job-a" = sched "job-a");
+  checkb "distinct jobs get distinct jitter" true (sched "job-a" <> sched "job-b");
+  List.iteri
+    (fun i d ->
+      let base = 0.05 *. (2.0 ** float_of_int i) in
+      checkb "within jitter band" true (d >= 0.75 *. base -. 1e-9 && d <= 1.25 *. base +. 1e-9))
+    (sched "job-a");
+  check "no_retry has no delays" 0
+    (List.length (Harness.Runner.backoff_schedule Harness.Runner.no_retry ~job_id:"x"))
+
+let retry_fast max_attempts =
+  { Harness.Runner.max_attempts; backoff_s = 1e-4; multiplier = 2.0; jitter = 0.25;
+    retry_seed = 9 }
+
+(* Fails [j] deterministically on attempts [< succeed_at]; other jobs
+   run normally. *)
+let flaky_execute ~flaky_id ~succeed_at spec (j : Harness.Spec.job) ~attempt =
+  if j.Harness.Spec.id = flaky_id && attempt < succeed_at then
+    Harness.Runner.protect ~attempt j (fun () -> failwith "injected transient fault")
+  else Harness.Runner.run_job ~attempt spec j
+
+let test_runner_retry_recovers () =
+  let spec = small_spec in
+  let flaky_id = (job_of spec).Harness.Spec.id in
+  let path = temp_store_path () in
+  let store = Harness.Store.load ~path () in
+  let executed, failed =
+    Harness.Runner.run ~jobs:1 ~retry:(retry_fast 3) ~sleep:(fun _ -> ())
+      ~execute:(flaky_execute ~flaky_id ~succeed_at:2)
+      spec store
+  in
+  check "all executed" (List.length (Harness.Spec.jobs spec)) executed;
+  check "no terminal failure" 0 failed;
+  let v = Harness.Hjson.parse_exn (Option.get (Harness.Store.find store flaky_id)) in
+  checkb "ok after retry" true
+    (Option.bind (Harness.Hjson.member "status" v) Harness.Hjson.to_string_opt = Some "ok");
+  check "attempts counted" 2
+    (Option.get (Option.bind (Harness.Hjson.member "attempts" v) Harness.Hjson.to_int_opt));
+  checkb "nothing quarantined" false
+    (Sys.file_exists (Harness.Runner.quarantine_path store));
+  Sys.remove path
+
+let test_runner_quarantine () =
+  let spec = small_spec in
+  (* Poison every job of the first series at its first size: the
+     series keeps only one measured size and must degrade. *)
+  let first = job_of spec in
+  let is_poison (j : Harness.Spec.job) =
+    j.Harness.Spec.algo = first.Harness.Spec.algo && j.Harness.Spec.n = first.Harness.Spec.n
+  in
+  let poison_ids =
+    List.filter_map
+      (fun j -> if is_poison j then Some j.Harness.Spec.id else None)
+      (Harness.Spec.jobs spec)
+  in
+  let execute spec (j : Harness.Spec.job) ~attempt =
+    if is_poison j then
+      Harness.Runner.protect ~attempt j (fun () -> failwith "injected permanent fault")
+    else Harness.Runner.run_job ~attempt spec j
+  in
+  let path = temp_store_path () in
+  let store = Harness.Store.load ~path () in
+  let executed, failed =
+    Harness.Runner.run ~jobs:1 ~retry:(retry_fast 2) ~sleep:(fun _ -> ()) ~execute spec
+      store
+  in
+  let total = List.length (Harness.Spec.jobs spec) in
+  check "sweep completed" total executed;
+  check "terminal failures" (List.length poison_ids) failed;
+  checkb "poison kept out of the main store" false
+    (List.exists (Harness.Store.mem store) poison_ids);
+  let qpath = Harness.Runner.quarantine_path store in
+  let q = Harness.Store.load ~lock:false ~path:qpath () in
+  checkb "poison quarantined" true (List.for_all (Harness.Store.mem q) poison_ids);
+  let v =
+    Harness.Hjson.parse_exn (Option.get (Harness.Store.find q (List.hd poison_ids)))
+  in
+  check "final attempt recorded" 2
+    (Option.get (Option.bind (Harness.Hjson.member "attempts" v) Harness.Hjson.to_int_opt));
+  (* Quarantined jobs are settled: a resume executes nothing. *)
+  let again, _ = Harness.Runner.run ~jobs:1 ~retry:(retry_fast 2) ~sleep:(fun _ -> ()) ~execute spec store in
+  check "resume settles" 0 again;
+  (* ... and the report accounts for them. *)
+  let report = Harness.Hjson.parse_exn (Harness.Runner.report spec store) in
+  let rint f = Option.get (Option.bind (Harness.Hjson.member f report) Harness.Hjson.to_int_opt) in
+  check "report quarantined" (List.length poison_ids) (rint "quarantined");
+  check "report missing" 0 (rint "missing");
+  (* The poisoned series lost a size: degraded, and its gate refuses
+     a verdict. *)
+  let degraded = Harness.Runner.degraded_series spec store in
+  let series_name = Harness.Spec.algo_name first.Harness.Spec.algo in
+  checkb "series degraded" true (List.mem series_name degraded);
+  let verdict =
+    Harness.Fit.evaluate ~degraded
+      [ gate series_name 1.0 100.0 0.0 ]
+      ~series:(Harness.Runner.series_points spec store)
+  in
+  checkb "degraded gate inconclusive" true
+    (verdict.Harness.Fit.status = Harness.Fit.Inconclusive);
+  check "exit 3" 3 (Harness.Fit.exit_code verdict);
+  Sys.remove qpath;
+  Sys.remove path
+
+let test_gate_inconclusive_vs_fail () =
+  let series = [ ("good", List.map (fun x -> (x, x ** 1.5)) [ 8.0; 16.0; 32.0 ]) ] in
+  let v = Harness.Fit.evaluate [ gate "good" 1.5 0.2 0.9 ] ~series in
+  checkb "measured pass" true (v.Harness.Fit.status = Harness.Fit.Pass);
+  let v = Harness.Fit.evaluate [ gate "good" 0.5 0.1 0.9 ] ~series in
+  checkb "measured fail" true (v.Harness.Fit.status = Harness.Fit.Fail);
+  let v = Harness.Fit.evaluate [ gate "absent" 1.0 0.5 0.0 ] ~series in
+  checkb "absent inconclusive" true (v.Harness.Fit.status = Harness.Fit.Inconclusive);
+  let v = Harness.Fit.evaluate ~degraded:[ "good" ] [ gate "good" 1.5 0.2 0.9 ] ~series in
+  checkb "degraded inconclusive" true (v.Harness.Fit.status = Harness.Fit.Inconclusive);
+  (* Fail dominates Inconclusive in the verdict roll-up. *)
+  let v =
+    Harness.Fit.evaluate ~degraded:[ "good" ]
+      [ gate "good" 1.5 0.2 0.9;
+        gate "bad" 0.5 0.1 0.9 ]
+      ~series:(("bad", List.map (fun x -> (x, x ** 1.5)) [ 8.0; 16.0; 32.0 ]) :: series)
+  in
+  checkb "fail dominates" true (v.Harness.Fit.status = Harness.Fit.Fail)
+
+(* Satellite: kill-and-resume stays byte-identical when the store is
+   corrupted mid-file between the kill and the resume, and when the
+   kill lands inside a retry backoff window. *)
+let prop_kill_corrupt_resume =
+  QCheck.Test.make ~name:"kill+corrupt+resume is byte-identical" ~count:8
+    QCheck.(
+      quad (int_range 0 4) (int_range 0 2) bool (int_range 0 100))
+    (fun (kill_after, corruption, interrupt_backoff, flip_salt) ->
+      let spec =
+        Harness.Spec.make ~name:"kcr"
+          ~algos:[ Harness.Spec.Classical_diameter; Harness.Spec.Sssp_two_approx ]
+          ~family:(Harness.Spec.Chain { cliques = 2 })
+          ~max_w:6 ~sizes:[ 6; 9 ] ~seeds:[ 3 ] ()
+      in
+      let flaky_id = (job_of spec).Harness.Spec.id in
+      let execute = flaky_execute ~flaky_id ~succeed_at:2 in
+      let retry = retry_fast 2 in
+      (* Reference arm: uninterrupted, instant sleeps. *)
+      let ref_path = temp_store_path () in
+      let ref_store = Harness.Store.load ~path:ref_path () in
+      let _ =
+        Harness.Runner.run ~jobs:1 ~retry ~sleep:(fun _ -> ()) ~execute spec ref_store
+      in
+      (* Victim arm: killed after [kill_after] jobs — or mid-backoff. *)
+      let path = temp_store_path () in
+      let s = Harness.Store.load ~path () in
+      let sleep _ = if interrupt_backoff then raise Exit in
+      (try
+         ignore
+           (Harness.Runner.run ~jobs:1 ~max_jobs:kill_after ~retry ~sleep ~execute spec s)
+       with Exit -> ());
+      Harness.Store.close s;
+      (* Corrupt whatever the kill left behind, mid-file. *)
+      let lines =
+        if not (Sys.file_exists path) then []
+        else
+          List.filter
+            (fun l -> l <> "")
+            (String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all))
+      in
+      (match (lines, corruption) with
+      | [], _ -> ()
+      | l :: rest, 0 ->
+        (* Bit-flip somewhere in the first row. *)
+        let b = Bytes.of_string l in
+        let i = flip_salt mod String.length l in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+        Telemetry.Export.write_file ~path
+          (String.concat "\n" (Bytes.to_string b :: rest) ^ "\n")
+      | l :: rest, 1 ->
+        (* Splice a foreign line after the first row. *)
+        Telemetry.Export.write_file ~path
+          (String.concat "\n" ((l :: "{\"id\":\"intruder\"}garbage" :: rest) @ []) ^ "\n")
+      | _ ->
+        (* Truncate the last row mid-write. *)
+        let rev = List.rev lines in
+        let last = List.hd rev and prefix = List.rev (List.tl rev) in
+        let cut = String.sub last 0 (max 1 (String.length last - 9)) in
+        Telemetry.Export.write_file ~path (String.concat "\n" (prefix @ [ cut ])));
+      (* Resume to completion. *)
+      let resumed = Harness.Store.load ~path () in
+      let _ =
+        Harness.Runner.run ~jobs:1 ~retry ~sleep:(fun _ -> ()) ~execute spec resumed
+      in
+      (* Mid-file repair re-appends the refilled job at the tail, so
+         raw file order may differ; the invariant is the row set (every
+         row byte-identical) and the report (byte-identical, rows
+         sorted by id). *)
+      let sorted s = List.sort compare (Harness.Store.rows s) in
+      let same_rows = sorted ref_store = sorted resumed in
+      let same_report =
+        Harness.Runner.report spec ref_store = Harness.Runner.report spec resumed
+      in
+      let cp = Harness.Store.corrupt_path resumed in
+      if Sys.file_exists cp then Sys.remove cp;
+      Harness.Store.close ref_store;
+      Harness.Store.close resumed;
+      Sys.remove ref_path;
+      Sys.remove path;
+      same_rows && same_report)
 
 (* ------------------------------ Suite ------------------------------ *)
 
@@ -450,6 +777,11 @@ let () =
           Alcotest.test_case "corrupt tail" `Quick test_store_corrupt_tail;
           Alcotest.test_case "garbage middle" `Quick test_store_garbage_middle;
           Alcotest.test_case "append validation" `Quick test_store_append_validation;
+          Alcotest.test_case "v1 compat, v2 frames" `Quick test_store_v1_compat_v2_frames;
+          Alcotest.test_case "checksum detects bit-flip" `Quick
+            test_store_checksum_detects_bitflip;
+          Alcotest.test_case "lock file" `Quick test_store_lock;
+          Alcotest.test_case "fsync mode" `Quick test_store_fsync_mode;
         ] );
       ( "fit",
         [
@@ -458,6 +790,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_fit_deterministic;
           Alcotest.test_case "gate verdicts" `Quick test_gate_verdicts;
           Alcotest.test_case "verdict json" `Quick test_verdict_json;
+          Alcotest.test_case "inconclusive vs fail" `Quick test_gate_inconclusive_vs_fail;
         ] );
       ( "runner",
         [
@@ -466,5 +799,10 @@ let () =
           Alcotest.test_case "end to end" `Slow test_runner_end_to_end;
           Alcotest.test_case "jobs determinism" `Slow test_runner_jobs_determinism;
           QCheck_alcotest.to_alcotest prop_kill_resume;
+          Alcotest.test_case "protect deadline" `Quick test_protect_deadline;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "retry recovers" `Slow test_runner_retry_recovers;
+          Alcotest.test_case "quarantine" `Slow test_runner_quarantine;
+          QCheck_alcotest.to_alcotest prop_kill_corrupt_resume;
         ] );
     ]
