@@ -153,8 +153,5 @@ let run () =
   let deadline_fields = deadline_arm () in
   let store_fields = store_arm () in
   let fields = deadline_fields @ store_fields in
-  let path =
-    Telemetry.Export.write_artifact ~name:"BENCH_chaos.json"
-      (Telemetry.Tjson.obj fields)
-  in
-  Bench_common.note "wrote %s" path
+  ignore
+    (Bench_common.write_bench_json ~name:"BENCH_chaos.json" (Telemetry.Tjson.obj fields))

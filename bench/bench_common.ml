@@ -65,3 +65,19 @@ let write_runner_json ~name runner =
       (Congest.Runner.to_json runner)
   in
   note "wrote %s" path
+
+(* Every bench section's top-level JSON artifact goes through here:
+   the canonical copy lands under bench_artifacts/ (ARTIFACTS_DIR
+   override respected). [~root_copy:true] — used only by the perf
+   trajectory (BENCH_engine.json) — additionally writes an identical
+   copy at ./<name>, which is where the committed trajectory history
+   lives and where CI's jq checks have always looked. Returns the
+   artifacts-dir path. *)
+let write_bench_json ?(root_copy = false) ~name content =
+  let path = Telemetry.Export.write_artifact ~name content in
+  note "wrote %s" path;
+  if root_copy then begin
+    Telemetry.Export.write_file ~path:name (content ^ "\n");
+    note "wrote %s (root trajectory copy)" name
+  end;
+  path

@@ -7,28 +7,34 @@
    overhead), a dense flood (per-message ledger cost), and the exact
    APSP/eccentricity baseline (Dijkstra + domain fan-out).
 
-   Results go to BENCH_engine.json in the current directory (the repo
-   root under `dune exec bench/main.exe -- perf`, where the committed
-   trajectory lives) plus a copy under bench_artifacts/. Each arm's
-   outputs are asserted identical before timing is reported, so a
-   "speedup" can never be bought with a semantics change.
+   Results go to BENCH_engine.json under bench_artifacts/ plus the
+   documented root-level copy (the committed trajectory file), and
+   each case also appends a qcongest-perf-row/v1 trajectory row under
+   bench_artifacts/trajectory/ — the history `qcongest perf gate`
+   regresses against. Each arm's outputs are asserted identical before
+   timing is reported, so a "speedup" can never be bought with a
+   semantics change.
 
-   QCONGEST_PERF_SMOKE=1 shrinks the sizes for CI. *)
+   QCONGEST_PERF_SMOKE=1 (or `bench/main.exe -- --smoke perf`) shrinks
+   the sizes for CI. *)
 
 let smoke () = Sys.getenv_opt "QCONGEST_PERF_SMOKE" <> None
 
 let now () = Telemetry.Clock.now Telemetry.Clock.wall
 
+(* One warm-up evaluation, then [reps] timed ones. The table reports
+   the best wall (least scheduler noise); the trajectory row carries
+   the median (the robust statistic {!Profile.Gate} medians again
+   across rows). *)
 let best_of reps f =
   let y = ref (f ()) in
-  let best = ref infinity in
-  for _ = 1 to max 1 reps do
-    let t0 = now () in
-    y := f ();
-    let w = now () -. t0 in
-    if w < !best then best := w
-  done;
-  (!y, !best)
+  let walls =
+    List.init (max 1 reps) (fun _ ->
+        let t0 = now () in
+        y := f ();
+        now () -. t0)
+  in
+  (!y, List.fold_left Float.min infinity walls, Util.Stats.median walls)
 
 (* ------------------------------ Protocols -------------------------- *)
 
@@ -112,7 +118,8 @@ let reference_eccentricities g =
 type case = {
   name : string;
   n : int;
-  wall_s : float;
+  wall_s : float;  (* best of reps *)
+  median_s : float;  (* median of reps — the trajectory statistic *)
   ref_wall_s : float;
   metric : string; (* "rounds_per_s" | "messages_per_s" | "sources_per_s" *)
   metric_value : float;
@@ -122,8 +129,10 @@ let speedup c = if c.wall_s > 0.0 then c.ref_wall_s /. c.wall_s else infinity
 
 let run_engine_case ~name ~metric ~count g proto ~reps =
   let n = Graphlib.Wgraph.n g in
-  let (states, trace), wall_s = best_of reps (fun () -> Congest.Engine.run g proto) in
-  let (ref_states, ref_trace), ref_wall_s =
+  let (states, trace), wall_s, median_s =
+    best_of reps (fun () -> Congest.Engine.run g proto)
+  in
+  let (ref_states, ref_trace), ref_wall_s, _ =
     best_of reps (fun () -> Congest.Engine_reference.run g proto)
   in
   if states <> ref_states || trace <> ref_trace then
@@ -133,6 +142,7 @@ let run_engine_case ~name ~metric ~count g proto ~reps =
     name;
     n;
     wall_s;
+    median_s;
     ref_wall_s;
     metric;
     metric_value = (if wall_s > 0.0 then units /. wall_s else 0.0);
@@ -153,16 +163,17 @@ let flood_case ~reps ~cliques ~clique_size =
 let apsp_case ~reps ~jobs ~cliques ~clique_size =
   let g = Bench_common.ring_of_cliques ~cliques ~clique_size ~max_w:16 ~seed:3 in
   let n = Graphlib.Wgraph.n g in
-  let ecc, wall_s =
+  let ecc, wall_s, median_s =
     best_of reps (fun () ->
         Util.Domain_pool.run ~jobs n (fun src -> Graphlib.Dijkstra.eccentricity g ~src))
   in
-  let ref_ecc, ref_wall_s = best_of reps (fun () -> reference_eccentricities g) in
+  let ref_ecc, ref_wall_s, _ = best_of reps (fun () -> reference_eccentricities g) in
   if ecc <> ref_ecc then failwith "perf apsp-ecc: optimized sweep diverged from reference";
   {
     name = "apsp-ecc";
     n;
     wall_s;
+    median_s;
     ref_wall_s;
     metric = "sources_per_s";
     metric_value = (if wall_s > 0.0 then float_of_int n /. wall_s else 0.0);
@@ -186,15 +197,14 @@ let cases_to_json ~jobs ~smoke cases =
   Buffer.add_string b "]}";
   Buffer.contents b
 
-let write_json path contents =
-  Telemetry.Export.write_file ~path (contents ^ "\n");
-  Bench_common.note "wrote %s" path
-
 let run () =
   Bench_common.section
     "PERF — engine round loop and exact baselines: optimized vs reference";
   let smoke = smoke () in
-  let reps = if smoke then 1 else 3 in
+  (* Even smoke keeps 3 reps: the trajectory rows carry a median, and a
+     median-of-1 makes the CI regression gate flaky on shared runners.
+     Smoke sizes are tiny, so the extra evals cost milliseconds. *)
+  let reps = 3 in
   (* The acceptance target for the APSP arm is >= 4 domains; honor a
      larger explicit setting, never a smaller one. *)
   let jobs = max 4 (Util.Domain_pool.default_jobs ()) in
@@ -236,6 +246,15 @@ let run () =
   Bench_common.note "all arms verified identical (states, traces, eccentricities)";
   Bench_common.note "APSP arm ran with %d domains" jobs;
   let json = cases_to_json ~jobs ~smoke cases in
-  write_json "BENCH_engine.json" json;
-  Bench_common.note "wrote %s"
-    (Telemetry.Export.write_artifact ~name:"BENCH_engine.json" json)
+  ignore (Bench_common.write_bench_json ~root_copy:true ~name:"BENCH_engine.json" json);
+  (* Perf-trajectory rows: one qcongest-perf-row/v1 per case, appended
+     to the history and snapshotted for the regression gate. *)
+  let rows =
+    List.map
+      (fun c ->
+        Profile.Trajectory.make ~case:c.name ~n:c.n ~reps ~wall_s:c.median_s
+          ~throughput:c.metric_value ())
+      cases
+  in
+  Bench_common.note "wrote %s" (Profile.Trajectory.append rows);
+  Bench_common.note "wrote %s" (Profile.Trajectory.write_latest rows)

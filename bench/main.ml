@@ -26,20 +26,27 @@ let sections : (string * string * (unit -> unit)) list =
 
 let () =
   (* [--jobs=N] (anywhere on the command line) sets the Domain_pool
-     default for every section; QCONGEST_JOBS overrides it. *)
+     default for every section; QCONGEST_JOBS overrides it. [--smoke]
+     shrinks sizes for the sections that honor QCONGEST_PERF_SMOKE. *)
   let args =
     List.filter
       (fun a ->
-        match String.index_opt a '=' with
-        | Some i when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
-          (match int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1)) with
-          | Some j when j >= 1 ->
-            Util.Domain_pool.set_default_jobs j;
-            false
-          | _ ->
-            Printf.eprintf "bad --jobs value in %S\n" a;
-            exit 1)
-        | _ -> true)
+        if a = "--" then false
+        else if a = "--smoke" then begin
+          Unix.putenv "QCONGEST_PERF_SMOKE" "1";
+          false
+        end
+        else
+          match String.index_opt a '=' with
+          | Some i when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+            (match int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1)) with
+            | Some j when j >= 1 ->
+              Util.Domain_pool.set_default_jobs j;
+              false
+            | _ ->
+              Printf.eprintf "bad --jobs value in %S\n" a;
+              exit 1)
+          | _ -> true)
       (List.tl (Array.to_list Sys.argv))
   in
   let requested =

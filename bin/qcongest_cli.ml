@@ -310,7 +310,7 @@ let faults_cmd =
     term
 
 let run_trace input family n max_w cliques seed drop dup delay fault_seed artifacts events_path
-    chrome_path heatmap_path timeline_path =
+    chrome_path heatmap_path timeline_path profile =
   let g = make_graph ?input family n max_w cliques seed in
   describe g;
   let dir = Telemetry.Export.artifacts_dir ?override:artifacts () in
@@ -324,6 +324,10 @@ let run_trace input family n max_w cliques seed drop dup delay fault_seed artifa
   (match faults with
   | Some f -> Format.printf "adversary: %a@." Congest.Fault.pp f
   | None -> ());
+  (* With --profile every engine round is additionally bracketed into
+     engine.heap/delivery/compute spans, nested under the phase spans. *)
+  let scoped f = if profile then Congest.Engine.with_phase_spans f else f () in
+  scoped @@ fun () ->
   (* A representative multi-phase scenario: BFS tree, an aggregation
      up it, a pipelined broadcast down it — each phase a span. *)
   let tree =
@@ -382,6 +386,23 @@ let run_trace input family n max_w cliques seed drop dup delay fault_seed artifa
   let phases_file = Filename.concat dir "trace.phases.json" in
   Telemetry.Export.write_file ~path:phases_file (Congest.Runner.to_json runner);
   wrote phases_file;
+  if profile then begin
+    (* Span attribution from the recorded stream: the phase spans and
+       (under --profile) the per-round engine spans aggregate into one
+       call tree, exported as JSON, folded stacks for flamegraph/
+       speedscope, and the metrics snapshot as Prometheus text. *)
+    let spans = Profile.Span.of_events events in
+    let profile_file = Filename.concat dir "trace.profile.json" in
+    Telemetry.Export.write_file ~path:profile_file (Profile.Span.to_json spans ^ "\n");
+    wrote profile_file;
+    let folded_file = Filename.concat dir "trace.folded.txt" in
+    Telemetry.Export.write_file ~path:folded_file (Profile.Span.folded spans);
+    wrote folded_file;
+    let prom_file = Filename.concat dir "trace.metrics.prom" in
+    Telemetry.Export.write_file ~path:prom_file
+      (Telemetry.Export.prometheus (Telemetry.Metrics.snapshot metrics));
+    wrote prom_file
+  end;
   0
 
 let trace_cmd =
@@ -424,11 +445,21 @@ let trace_cmd =
   let timeline_arg =
     path_arg [ "timeline" ] "FILE" "Per-round timeline CSV (round,active,messages,words,...)."
   in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Enable per-round engine phase spans (engine.heap/delivery/compute) and export \
+             span attribution: $(b,trace.profile.json) (the qcongest-profile/v1 call tree), \
+             $(b,trace.folded.txt) (folded stacks for flamegraph.pl/speedscope) and \
+             $(b,trace.metrics.prom) (Prometheus text exposition of the metrics snapshot).")
+  in
   let term =
     Term.(
       const run_trace $ input_arg $ family_arg $ n_arg $ max_w_arg $ cliques_arg $ seed_arg
       $ drop_arg $ dup_arg $ delay_arg $ fault_seed_arg $ artifacts_arg $ events_arg $ chrome_arg
-      $ heatmap_arg $ timeline_arg)
+      $ heatmap_arg $ timeline_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "trace"
@@ -547,7 +578,7 @@ let audit_sweep_store (spec : Harness.Spec.t) store =
   Check.Report.exit_code report
 
 let sweep_run jobs spec_file builtin store_override max_jobs audit fsync deadline retries
-    =
+    progress =
   set_jobs jobs;
   if retries < 1 then sweep_error "--retries must be >= 1"
   else
@@ -563,12 +594,36 @@ let sweep_run jobs spec_file builtin store_override max_jobs audit fsync deadlin
         if retries = 1 then Harness.Runner.no_retry
         else { Harness.Runner.default_retry with Harness.Runner.max_attempts = retries }
       in
-      let executed, failed =
-        Harness.Runner.run ?max_jobs ~retry ?deadline_s:deadline spec store
-          ~on_progress:(fun ~completed ~total ->
-            Printf.printf "  checkpoint: %d/%d jobs\n%!" completed total)
+      (* --progress: a single \r-rewritten status line driven by
+         read-only store observation, plus a live metrics registry
+         (job wall-time histogram) exported as Prometheus text. *)
+      let metrics = if progress then Some (Telemetry.Metrics.create ()) else None in
+      let t0 = Unix.gettimeofday () in
+      let baseline = Harness.Store.count store + quarantine_count store in
+      let on_progress =
+        if progress then fun ~completed:_ ~total ->
+          let stats =
+            Profile.Monitor.observe ~total ~path:(Harness.Store.path store) ()
+          in
+          Printf.printf "\r%s%!"
+            (Profile.Monitor.render ~width:78 ~baseline
+               ~elapsed_s:(Unix.gettimeofday () -. t0)
+               stats)
+        else fun ~completed ~total -> Printf.printf "  checkpoint: %d/%d jobs\n%!" completed total
       in
+      let executed, failed =
+        Harness.Runner.run ?max_jobs ~retry ?deadline_s:deadline ?metrics spec store
+          ~on_progress
+      in
+      if progress then print_newline ();
       Printf.printf "executed %d job(s), %d failed in this invocation\n" executed failed;
+      (match metrics with
+      | Some m ->
+        Printf.printf "wrote %s\n"
+          (Telemetry.Export.write_artifact
+             ~name:(spec.Harness.Spec.name ^ ".metrics.prom")
+             (Telemetry.Export.prometheus (Telemetry.Metrics.snapshot m)))
+      | None -> ());
       let report = Harness.Runner.report spec store in
       Printf.printf "wrote %s\n"
         (Telemetry.Export.write_artifact
@@ -732,10 +787,20 @@ let sweep_cmd =
              is quarantined to the $(b,*.quarantine.jsonl) sibling and the sweep completes \
              without it.")
   in
+  let progress_arg =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Replace the per-batch checkpoint lines with a single live status line (rows \
+             done/total, rows/s, ETA, failure/timeout/quarantine counts, rewritten in place \
+             with \\r) and export the run's job wall-time metrics as \
+             $(i,spec-name).metrics.prom (Prometheus text exposition).")
+  in
   let run_term =
     Term.(
       const sweep_run $ jobs_arg $ spec_arg $ builtin_arg $ store_arg $ max_jobs_arg
-      $ audit_arg $ fsync_arg $ deadline_arg $ retries_arg)
+      $ audit_arg $ fsync_arg $ deadline_arg $ retries_arg $ progress_arg)
   in
   let run_cmd =
     Cmd.v
@@ -772,6 +837,148 @@ let sweep_cmd =
          "Declarative experiment sweeps: run/resume checkpointed job grids, report results, \
           and gate empirical scaling exponents against Table 1 predictions.")
     [ run_cmd; resume_cmd; report_cmd; gate_cmd ]
+
+(* ------------------------------- top ------------------------------- *)
+
+let run_top store_path total watch =
+  if not (Sys.file_exists store_path) then begin
+    Printf.eprintf "qcongest top: no store at %s\n" store_path;
+    2
+  end
+  else if watch <= 0.0 then begin
+    let stats = Profile.Monitor.observe ~total ~path:store_path () in
+    print_endline (Profile.Monitor.render stats);
+    0
+  end
+  else begin
+    (* Watch loop: observe read-only, rewrite one line in place, stop
+       once the store reaches --total (forever without it: the store
+       alone cannot know how many jobs remain). *)
+    let t0 = Unix.gettimeofday () in
+    let baseline = (Profile.Monitor.observe ~total ~path:store_path ()).Profile.Monitor.settled in
+    let rec loop () =
+      let stats = Profile.Monitor.observe ~total ~path:store_path () in
+      Printf.printf "\r%s%!"
+        (Profile.Monitor.render ~width:78 ~baseline
+           ~elapsed_s:(Unix.gettimeofday () -. t0)
+           stats);
+      if total > 0 && stats.Profile.Monitor.settled >= total then begin
+        print_newline ();
+        0
+      end
+      else begin
+        Unix.sleepf watch;
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+let top_cmd =
+  let store_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STORE" ~doc:"Checkpoint store (JSONL) to observe.")
+  in
+  let total_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "total" ] ~docv:"N"
+          ~doc:"Expected job count (enables percentage and ETA; 0 = unknown).")
+  in
+  let watch_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "watch" ] ~docv:"SECONDS"
+          ~doc:
+            "Re-observe every $(docv) seconds, rewriting the status line in place; exits \
+             when $(b,--total) rows are settled (without $(b,--total): watches forever). \
+             Default 0 = print once and exit.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Read-only tail of a sweep checkpoint store: rows settled, ok/failed/timeout/\
+          quarantined counts, rate and ETA. Never locks, repairs or mutates the store, so \
+          it is safe against a live $(b,sweep run).")
+    Term.(const run_top $ store_arg $ total_arg $ watch_arg)
+
+(* ------------------------------- perf ------------------------------- *)
+
+let perf_gate baseline_path current_path tol min_points =
+  let current_path =
+    match current_path with Some p -> p | None -> Profile.Trajectory.latest_path ()
+  in
+  let baseline = Profile.Trajectory.read ~path:baseline_path in
+  let current = Profile.Trajectory.read ~path:current_path in
+  if baseline = [] then
+    Printf.printf "perf gate: no baseline rows at %s (inconclusive)\n" baseline_path;
+  if current = [] then
+    Printf.printf "perf gate: no current rows at %s (inconclusive)\n" current_path;
+  match Profile.Gate.evaluate ?tolerance:tol ~min_points ~baseline ~current () with
+  | exception Invalid_argument msg ->
+    Printf.eprintf "qcongest perf: %s\n" msg;
+    2
+  | verdict ->
+    Format.printf "%a@?" Profile.Gate.pp verdict;
+    Printf.printf "wrote %s\n"
+      (Telemetry.Export.write_artifact ~name:"perf.gate.json"
+         (Profile.Gate.to_json verdict));
+    Profile.Gate.exit_code verdict
+
+let perf_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Pinned baseline rows: a trajectory file of either shape (JSONL history or JSON \
+             array snapshot).")
+  in
+  let current_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "current" ] ~docv:"FILE"
+          ~doc:
+            "Rows of the run under test. Defaults to \
+             $(i,ARTIFACTS_DIR)/trajectory/latest.json (what $(b,bench perf) just wrote).")
+  in
+  let tol_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tol" ] ~docv:"R"
+          ~doc:
+            "Noise band as a relative tolerance: a case regresses when its median wall time \
+             exceeds baseline by more than $(docv) (default 0.35).")
+  in
+  let min_points_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "min-points" ] ~docv:"K"
+          ~doc:
+            "Minimum comparable (case, n) points for a measured verdict; fewer is \
+             inconclusive (exit 3).")
+  in
+  let gate_cmd =
+    Cmd.v
+      (Cmd.info "gate"
+         ~doc:
+           "Compare current perf-trajectory rows against a pinned baseline with a noise \
+            band: medians per (case, n), regression when current > baseline * (1 + tol). \
+            Exits 0 on pass, 1 on a measured regression, 3 when inconclusive (no baseline, \
+            disjoint cases).")
+      Term.(const perf_gate $ baseline_arg $ current_arg $ tol_arg $ min_points_arg)
+  in
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "Performance trajectory tooling over the qcongest-perf-row/v1 files $(b,bench \
+          perf) writes under $(i,ARTIFACTS_DIR)/trajectory/.")
+    [ gate_cmd ]
 
 (* ------------------------------ check ------------------------------ *)
 
@@ -971,4 +1178,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ diameter_cmd; radius_cmd; classical_cmd; unweighted_cmd; gadget_cmd; faults_cmd;
-            trace_cmd; params_cmd; sweep_cmd; check_cmd ]))
+            trace_cmd; params_cmd; sweep_cmd; top_cmd; perf_cmd; check_cmd ]))

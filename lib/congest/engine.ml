@@ -111,6 +111,19 @@ let with_deadline ?(clock = Telemetry.Clock.wall) ~seconds f =
   Domain.DLS.set ambient_deadline merged;
   Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_deadline prev) f
 
+(* Ambient per-domain phase-span switch, mirroring [ambient_deadline]:
+   callers that cannot thread [?phase_spans] through intermediate
+   layers (the CLI's [--profile], the sweep runner) flip it for a
+   scope and every observed [run] on this domain brackets its round
+   work into spans. Off — the default — adds a single immutable bool
+   test per run, never per round. *)
+let ambient_phase_spans : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let with_phase_spans f =
+  let prev = Domain.DLS.get ambient_phase_spans in
+  Domain.DLS.set ambient_phase_spans true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_phase_spans prev) f
+
 (* Inboxes are reusable growable buffers: envelopes are appended in
    arrival order and the live prefix is snapshotted (and stably sorted
    by sender) once per activation, so the steady state allocates one
@@ -151,7 +164,7 @@ let rec merge_uniq a b =
    instead of Hashtbl.fold min-scans; and the per-round active-set
    scan over all n inboxes is replaced by a touched-node list. *)
 let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry.Clock.wall)
-    ?on_message ?faults ?sink g proto =
+    ?phase_spans ?on_message ?faults ?sink g proto =
   let n = Graphlib.Wgraph.n g in
   if n = 0 then invalid_arg "Engine.run: empty graph";
   (* The historical [?on_message] hook is an adapter over the event
@@ -164,6 +177,21 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
   in
   let observed = sink <> None in
   let emit ev = match sink with Some s -> s ev | None -> () in
+  (* Phase spans are pure observation on top of [observed]: the wall
+     clock is only ever read when they are on, so the default path
+     stays bit-identical to the pinned reference semantics. *)
+  let spans =
+    observed
+    && (match phase_spans with
+       | Some b -> b
+       | None -> Domain.DLS.get ambient_phase_spans)
+  in
+  let span_begin name r =
+    emit (Telemetry.Events.Span_begin { name; round = r; wall_s = Telemetry.Clock.now clock })
+  in
+  let span_end name r =
+    emit (Telemetry.Events.Span_end { name; round = r; wall_s = Telemetry.Clock.now clock })
+  in
   let max_w = Graphlib.Wgraph.max_weight g in
   let views =
     Array.init n (fun id ->
@@ -477,6 +505,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
   let continue = ref true in
   while !continue do
     (* Decide the next round with activity. *)
+    if spans then span_begin "engine.heap" !round;
     let msg_round =
       if adversary = None && !any_sends_this_round then Some (!round + 1) else None
     in
@@ -485,6 +514,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
       | None, x | x, None -> x
       | Some a, Some b -> Some (min a b)
     in
+    if spans then span_end "engine.heap" !round;
     match next with
     | None -> continue := false
     | Some r ->
@@ -494,6 +524,7 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
              { protocol = proto.name; round_reached = r; partial = current_trace () });
       (match deadline_guard with None -> () | Some check -> check r);
       (* Collect the active set: inbox recipients plus due wake-ups. *)
+      if spans then span_begin "engine.delivery" r;
       let flushed = adversary <> None && flush_arrivals r in
       let from_inbox =
         if flushed || (adversary = None && r = !round + 1) then next_active_from_inboxes ()
@@ -526,9 +557,11 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
             (id, Array.to_list inbox))
           active
       in
+      if spans then span_end "engine.delivery" r;
       round := r;
       reset_round_ledger ();
       any_sends_this_round := false;
+      if spans then span_begin "engine.compute" r;
       List.iter
         (fun (id, inbox) ->
           incr activations;
@@ -536,7 +569,8 @@ let run ?(bandwidth = 1) ?(max_rounds = 1_000_000) ?deadline ?(clock = Telemetry
           states.(id) <- s';
           List.iter (deliver ~round:r id) act.sends;
           schedule_wake ~now:r id act.wakes)
-        snapshots
+        snapshots;
+      if spans then span_end "engine.compute" r
   done;
   let trace = current_trace () in
   if observed then begin

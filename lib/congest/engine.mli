@@ -118,11 +118,22 @@ val with_deadline : ?clock:Telemetry.Clock.t -> seconds:float -> (unit -> 'a) ->
     assumes both scopes use the same clock). The previous ambient state
     is restored when [f] returns or raises. *)
 
+val with_phase_spans : (unit -> 'a) -> 'a
+(** [with_phase_spans f] runs [f] with ambient phase-span emission
+    enabled: every observed {!run} started by [f] on this domain
+    (without its own explicit [?phase_spans]) brackets each scheduled
+    round into [engine.heap] / [engine.delivery] / [engine.compute]
+    {!Telemetry.Events.Span_begin}/[Span_end] pairs on its sink. Like
+    {!with_deadline} the switch is domain-local, so [Util.Domain_pool]
+    workers profile independently; the previous state is restored when
+    [f] returns or raises. Runs without a sink are unaffected. *)
+
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?deadline:float ->
   ?clock:Telemetry.Clock.t ->
+  ?phase_spans:bool ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
   ?faults:Fault.t ->
   ?sink:Telemetry.Events.sink ->
@@ -154,6 +165,15 @@ val run :
     the wire (i.e. after a strict-bandwidth drop but before a random
     drop); network-injected duplicate copies do not re-fire it and do
     not add to edge load.
+
+    [?phase_spans] (default: the ambient {!with_phase_spans} switch,
+    itself off by default) brackets each scheduled round's heap
+    query, delivery work and handler execution into
+    [engine.heap]/[engine.delivery]/[engine.compute] span events on
+    the sink — the substrate [Profile.Span.of_events] attributes wall
+    time with. Spans are pure observation: they require a sink, and
+    with them off no clock is read and the run is bit-for-bit the
+    historical behaviour.
 
     [?sink] receives the full structured event stream (see
     {!Telemetry.Events}): [Run_start], per-round [Round_start],

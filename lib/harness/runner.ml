@@ -276,7 +276,7 @@ let attempt_job ~retry ~sleep ~execute spec (j : Spec.job) =
   go 1 (backoff_schedule retry ~job_id:j.Spec.id)
 
 let run ?jobs ?max_jobs ?(retry = no_retry) ?deadline_s ?(sleep = Unix.sleepf) ?execute
-    ?(on_progress = fun ~completed:_ ~total:_ -> ()) spec store =
+    ?metrics ?(on_progress = fun ~completed:_ ~total:_ -> ()) spec store =
   if retry.max_attempts < 1 then invalid_arg "Runner.run: retry.max_attempts must be >= 1";
   let execute =
     match execute with
@@ -312,20 +312,39 @@ let run ?jobs ?max_jobs ?(retry = no_retry) ?deadline_s ?(sleep = Unix.sleepf) ?
   let settled () =
     Store.count store + match !qstore with Some q -> Store.count q | None -> 0
   in
+  (* Job wall time is observation only — it is measured on the worker
+     but recorded into the (single-domain) registry on the coordinator,
+     and it never enters a row, so checkpoint bytes stay a pure
+     function of the job (the kill-and-resume identity). With
+     [?metrics] unset no clock is read at all. *)
+  let timed_job (j : Spec.job) =
+    match metrics with
+    | None -> (attempt_job ~retry ~sleep ~execute spec j, 0.0)
+    | Some _ ->
+      let t0 = Telemetry.Clock.now Telemetry.Clock.wall in
+      let row = attempt_job ~retry ~sleep ~execute spec j in
+      (row, Telemetry.Clock.now Telemetry.Clock.wall -. t0)
+  in
+  let record_job row wall_s =
+    match metrics with
+    | None -> ()
+    | Some m ->
+      Telemetry.Metrics.observe m "sweep.job.wall_ms"
+        (int_of_float (Float.round (wall_s *. 1000.0)));
+      Telemetry.Metrics.incr m
+        (if row_failed row then "sweep.job.failed" else "sweep.job.ok")
+  in
   List.iter
     (fun batch ->
-      let rows =
-        Util.Domain_pool.map_list ~jobs:domain_count
-          (attempt_job ~retry ~sleep ~execute spec)
-          batch
-      in
+      let rows = Util.Domain_pool.map_list ~jobs:domain_count timed_job batch in
       List.iter2
-        (fun (j : Spec.job) row ->
+        (fun (j : Spec.job) (row, wall_s) ->
           let poison = row_failed row && retry.max_attempts > 1 in
           if poison then Store.append (force_qstore ()) ~id:j.Spec.id row
           else Store.append store ~id:j.Spec.id row;
           incr executed;
-          if row_failed row then incr failed)
+          if row_failed row then incr failed;
+          record_job row wall_s)
         batch rows;
       on_progress ~completed:(settled ()) ~total)
     (batches (max 1 domain_count) pending);

@@ -73,6 +73,7 @@ val run :
   ?deadline_s:float ->
   ?sleep:(float -> unit) ->
   ?execute:(Spec.t -> Spec.job -> attempt:int -> string) ->
+  ?metrics:Telemetry.Metrics.t ->
   ?on_progress:(completed:int -> total:int -> unit) ->
   Spec.t ->
   Store.t ->
@@ -93,7 +94,18 @@ val run :
     rows). [sleep] (default [Unix.sleepf]) and [execute] (default
     {!run_job}) are injection points for the chaos suite — [execute]
     must never raise. Returns [(executed, failures_among_executed)];
-    quarantined jobs count in both. *)
+    quarantined jobs count in both.
+
+    [metrics] (default: none) receives live execution telemetry:
+    every settled job observes its wall time into the
+    [sweep.job.wall_ms] histogram and bumps [sweep.job.ok] or
+    [sweep.job.failed]. Timing is measured around the whole attempt
+    chain on the worker but recorded on the coordinating domain, and
+    it never enters a checkpoint row — row bytes stay a pure function
+    of the job, so kill-and-resume identity is unaffected. With
+    [?metrics] unset no clock is read. The live monitor
+    ([--progress]) and the Prometheus exporter consume the
+    registry. *)
 
 val series_points : Spec.t -> Store.t -> (string * (float * float) list) list
 (** Per algorithm series: [(actual n, median rounds over seeds)] from

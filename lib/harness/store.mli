@@ -67,6 +67,16 @@ val append : t -> id:string -> string -> unit
     guaranteed on disk only when the store was opened with
     [~fsync:true], which pays one [fsync] per append. *)
 
+val peek : path:string -> (string * string) list * int
+(** Read-only snapshot of the rows currently on disk at [path]:
+    [(id, logical_row)] pairs in file order (duplicates after the
+    first occurrence ignored) plus the number of lines skipped as
+    unparseable — a partial append in progress, a damaged row. Unlike
+    {!load} it never locks, quarantines or rewrites, so it is safe to
+    call against a store owned by a live runner; that is exactly what
+    the [qcongest top] monitor does. A missing file is an empty store,
+    not an error. *)
+
 val mem : t -> string -> bool
 (** Is a row with this job id present? *)
 

@@ -43,7 +43,23 @@ val write_events_jsonl : path:string -> Events.t list -> unit
 
 val chrome_trace : ?process_name:string -> Events.t list -> string
 (** The trace-event JSON document:
-    [{"traceEvents":[...],"displayTimeUnit":"ms"}]. *)
+    [{"traceEvents":[...],"displayTimeUnit":"ms"}]. Span events are
+    balanced by construction: a [Span_begin] with no matching
+    [Span_end] (an interrupted run — deadline, round limit, crash)
+    gets a synthetic ["E"] close at the last observed position, and a
+    stray [Span_end] is dropped instead of emitted unmatched; every
+    such repair is surfaced as a ["trace_warning"] instant event with
+    a structured [code]/[span] payload. *)
+
+val prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** Prometheus text exposition (version 0.0.4) of a metrics snapshot
+    — the scrape format a future [qcongestd] serves on [/metrics].
+    Registry names map dots to underscores under the [?namespace]
+    prefix (default ["qcongest"]); counters and gauges expose one
+    sample each, histograms expose cumulative [_bucket{le="..."}]
+    samples over the log2 bucket bounds plus [_sum]/[_count], and
+    per-histogram [_p50]/[_p90]/[_p99] gauge estimates derived via
+    {!Metrics.percentile}. *)
 
 val write_chrome_trace : ?process_name:string -> path:string -> Events.t list -> unit
 

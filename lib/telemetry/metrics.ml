@@ -153,6 +153,29 @@ let gauge_value s name =
 let histogram_stats s name =
   match List.assoc_opt name s with Some (SHistogram h) -> Some h | _ -> None
 
+(* The histogram only keeps bucket occupancy, so a percentile is the
+   inclusive upper bound of the bucket holding the rank-p sample — an
+   overestimate by at most 2x (the bucket width), which is the
+   resolution contract of log2 bucketing. Rank follows the
+   nearest-rank definition: rank = ceil(p/100 * count), clamped to
+   [1, count], so p = 0 reports the first occupied bucket and p = 100
+   the last. *)
+let percentile (h : histogram_stats) p =
+  if Float.is_nan p || p < 0.0 || p > 100.0 then
+    invalid_arg "Metrics.percentile: p outside [0, 100]";
+  if h.count = 0 then None
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.count)) in
+      max 1 (min h.count r)
+    in
+    let rec scan acc = function
+      | [] -> None (* unreachable: bucket counts sum to h.count *)
+      | (le, c) :: rest -> if acc + c >= rank then Some le else scan (acc + c) rest
+    in
+    scan 0 h.buckets
+  end
+
 let to_json (s : snapshot) =
   Tjson.obj
     (List.map

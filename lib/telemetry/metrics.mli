@@ -62,6 +62,16 @@ type histogram_stats = {
 
 val histogram_stats : snapshot -> string -> histogram_stats option
 
+val percentile : histogram_stats -> float -> int option
+(** Nearest-rank percentile estimate at bucket resolution: the
+    inclusive upper bound of the bucket containing sample number
+    [ceil(p/100 * count)] (clamped to [1, count], so [p = 0] reports
+    the first occupied bucket and [p = 100] the last). With log2
+    buckets the estimate overshoots the true sample by less than 2x.
+    [None] on an empty histogram; raises [Invalid_argument] when [p]
+    is outside [0, 100]. Feeds the Prometheus quantile gauges and the
+    live sweep monitor. *)
+
 val to_json : snapshot -> string
 (** One object keyed by metric name:
     [{"congest.rounds":{"type":"counter","value":12}, ...}]; histograms

@@ -37,6 +37,16 @@ val default_jobs : unit -> int
 val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** Parallel [Array.init]. *)
 
+val run_local :
+  ?jobs:int -> int -> local:(unit -> 'l) -> ('l -> int -> 'a) -> 'a array * 'l list
+(** {!run} with per-worker local state: each worker calls [local ()]
+    once on its own domain and threads the result through its chunk's
+    [f] calls; the locals come back in worker (i.e. chunk/index)
+    order, so folding over them is a deterministic merge regardless
+    of [jobs]. This is how per-domain accumulators — a profiler's
+    span recorder, a metrics registry — record contention-free and
+    combine reproducibly. The result array keeps {!run}'s contract. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] (same chunking and merge order). *)
 

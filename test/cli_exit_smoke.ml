@@ -65,6 +65,47 @@ let () =
   (* 124: cmdliner's own CLI-error exit for an unknown command. *)
   expect ~what:"unknown subcommand" 124 (Printf.sprintf "%s frobnicate" exe);
 
+  (* The perf gate's 0/1/3 contract, driven by fabricated trajectory
+     rows: identical rows pass, a halved baseline (current looks 2x
+     slower) is a measured regression, a missing baseline is
+     inconclusive — never a pass, never a regression. *)
+  let perf_row ~case ~wall =
+    Printf.sprintf
+      "{\"schema\":\"qcongest-perf-row/v1\",\"case\":%S,\"n\":64,\"reps\":3,\"wall_s\":%g,\"throughput\":1000,\"host\":\"smoke\",\"git_rev\":\"unknown\",\"unix_s\":0}"
+      case wall
+  in
+  let write_rows name rows =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_text path (fun oc ->
+        List.iter (fun r -> output_string oc (r ^ "\n")) rows);
+    path
+  in
+  let current =
+    write_rows "perf-current.jsonl"
+      [ perf_row ~case:"relay" ~wall:0.01; perf_row ~case:"flood" ~wall:0.02 ]
+  in
+  let forged =
+    write_rows "perf-forged.jsonl"
+      [ perf_row ~case:"relay" ~wall:0.005; perf_row ~case:"flood" ~wall:0.02 ]
+  in
+  let gate args = Printf.sprintf "%s perf gate %s" exe args in
+  expect ~what:"perf gate vs identical baseline" 0
+    (gate (Printf.sprintf "--baseline %s --current %s" (Filename.quote current)
+             (Filename.quote current)));
+  expect ~what:"perf gate vs forged faster baseline (regression)" 1
+    (gate (Printf.sprintf "--baseline %s --current %s" (Filename.quote forged)
+             (Filename.quote current)));
+  expect ~what:"perf gate with missing baseline (inconclusive)" 3
+    (gate
+       (Printf.sprintf "--baseline %s --current %s"
+          (Filename.quote (Filename.concat dir "no-baseline.jsonl"))
+          (Filename.quote current)));
+
+  (* qcongest top: read-only observation; a missing store is a usage
+     error (2), a real store renders and exits clean. *)
+  expect ~what:"top on a missing store" 2
+    (Printf.sprintf "%s top %s" exe (Filename.quote (Filename.concat dir "no-store.jsonl")));
+
   (* A real tiny sweep: two 4–6 node exact-classical jobs, gated by an
      absurd exponent so `run` passes and `gate` fails. *)
   let tiny =
@@ -109,6 +150,9 @@ let () =
   Harness.Store.close store;
   expect ~what:"complete store with failures exits 1" 1
     (sweep (Printf.sprintf "run --spec %s" (Filename.quote spec_path)));
+  expect ~what:"top renders a real store" 0
+    (Printf.sprintf "%s top --total 1 %s" exe
+       (Filename.quote (Filename.concat dir "exit-smoke-failed.jsonl")));
 
   ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
   if !failures > 0 then begin

@@ -96,6 +96,35 @@ let test_metrics_histogram_buckets () =
     Alcotest.(check (list (pair int int)))
       "log buckets" [ (0, 1); (1, 2); (3, 2); (7, 1); (15, 1) ] h.T.Metrics.buckets
 
+let test_metrics_percentiles () =
+  let m = T.Metrics.create () in
+  (* 100 samples 1..100 into log2 buckets: percentile answers are the
+     inclusive bucket upper bounds containing the nearest-rank sample. *)
+  for v = 1 to 100 do
+    T.Metrics.observe m "h" v
+  done;
+  let s = T.Metrics.snapshot m in
+  (match T.Metrics.histogram_stats s "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    (* Sample 50 is in (31,63], sample 90 and 99 in (63,127]. *)
+    Alcotest.(check (option int)) "p50" (Some 63) (T.Metrics.percentile h 50.0);
+    Alcotest.(check (option int)) "p90" (Some 127) (T.Metrics.percentile h 90.0);
+    Alcotest.(check (option int)) "p99" (Some 127) (T.Metrics.percentile h 99.0);
+    (* Clamping: p=0 is the first occupied bucket, p=100 the last. *)
+    Alcotest.(check (option int)) "p0 first bucket" (Some 1) (T.Metrics.percentile h 0.0);
+    Alcotest.(check (option int)) "p100 last bucket" (Some 127)
+      (T.Metrics.percentile h 100.0);
+    checkb "out-of-range p raises" true
+      (try ignore (T.Metrics.percentile h 101.0); false with Invalid_argument _ -> true));
+  let e = T.Metrics.create () in
+  T.Metrics.observe e "empty" 1;
+  let se = T.Metrics.snapshot e in
+  (* A single observation: every percentile lands in its bucket. *)
+  match T.Metrics.histogram_stats se "empty" with
+  | Some h -> Alcotest.(check (option int)) "single sample" (Some 1) (T.Metrics.percentile h 99.0)
+  | None -> Alcotest.fail "single-sample histogram missing"
+
 let test_metrics_merge () =
   let m1 = T.Metrics.create () and m2 = T.Metrics.create () in
   T.Metrics.add m1 "c" 3;
@@ -390,6 +419,59 @@ let test_chrome_trace_structure () =
   checkb "has counter track" true (contains chrome "\"active_nodes\"");
   checkb "valid nesting of quotes" true (String.length chrome > 100)
 
+let test_chrome_trace_unbalanced () =
+  (* A stream that ends inside two open spans, plus one stray close:
+     the exporter must stay balanced by construction (synthetic E
+     closes, dropped stray) and surface each repair as a
+     trace_warning instant. *)
+  let events =
+    [
+      E.Span_begin { name = "outer"; round = 0; wall_s = 0.0 };
+      E.Span_begin { name = "inner"; round = 1; wall_s = 0.1 };
+      E.Span_end { name = "never-opened"; round = 2; wall_s = 0.2 };
+      E.Run_end { round = 3 };
+    ]
+  in
+  let chrome = T.Export.chrome_trace events in
+  check "closes match opens" (count_substring chrome "\"ph\":\"B\"")
+    (count_substring chrome "\"ph\":\"E\"");
+  check "two synthetic closes" 2 (count_substring chrome "\"ph\":\"E\"");
+  checkb "repairs surfaced" true (contains chrome "trace_warning");
+  checkb "unclosed spans named" true (contains chrome "unbalanced_span_closed");
+  checkb "stray close named" true (contains chrome "span_end_without_begin");
+  (* A balanced stream must not warn. *)
+  let ok =
+    T.Export.chrome_trace
+      [
+        E.Span_begin { name = "a"; round = 0; wall_s = 0.0 };
+        E.Span_end { name = "a"; round = 1; wall_s = 0.5 };
+      ]
+  in
+  checkb "no warnings when balanced" false (contains ok "trace_warning")
+
+let test_prometheus_exposition () =
+  let m = T.Metrics.create () in
+  T.Metrics.add m "congest.rounds" 12;
+  T.Metrics.set_gauge m "fit.slope" 1.5;
+  List.iter (T.Metrics.observe m "sweep.job.wall_ms") [ 1; 2; 5; 9 ];
+  let text = T.Export.prometheus (T.Metrics.snapshot m) in
+  checkb "counter sample" true (contains text "qcongest_congest_rounds 12");
+  checkb "counter type" true (contains text "# TYPE qcongest_congest_rounds counter");
+  checkb "gauge sample" true (contains text "qcongest_fit_slope 1.5");
+  checkb "histogram type" true
+    (contains text "# TYPE qcongest_sweep_job_wall_ms histogram");
+  checkb "+Inf bucket" true
+    (contains text "qcongest_sweep_job_wall_ms_bucket{le=\"+Inf\"} 4");
+  checkb "count" true (contains text "qcongest_sweep_job_wall_ms_count 4");
+  checkb "sum" true (contains text "qcongest_sweep_job_wall_ms_sum 17");
+  checkb "p50 gauge" true (contains text "qcongest_sweep_job_wall_ms_p50");
+  checkb "p99 gauge" true (contains text "qcongest_sweep_job_wall_ms_p99");
+  checkb "namespace override" true
+    (contains (T.Export.prometheus ~namespace:"acme" (T.Metrics.snapshot m)) "acme_congest_rounds 12");
+  (* Exposition must end with a newline (text-format requirement). *)
+  checkb "trailing newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n')
+
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_replay_reconstructs_trace ]
 
 let () =
@@ -399,6 +481,7 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_metrics_counters_gauges;
           Alcotest.test_case "histogram log buckets" `Quick test_metrics_histogram_buckets;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
           Alcotest.test_case "merge and json" `Quick test_metrics_merge;
         ] );
       ( "events",
@@ -430,6 +513,8 @@ let () =
           Alcotest.test_case "artifacts dir resolution" `Quick test_artifacts_dir_resolution;
           Alcotest.test_case "csv exporters" `Quick test_csv_exporters;
           Alcotest.test_case "chrome trace structure" `Quick test_chrome_trace_structure;
+          Alcotest.test_case "chrome trace unbalanced repair" `Quick test_chrome_trace_unbalanced;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
         ] );
       ("properties", qsuite);
     ]
