@@ -24,10 +24,20 @@ let sections : (string * string * (unit -> unit)) list =
     ("chaos", "Supervision overhead: deadline guard, checksummed store", Bench_chaos.run);
   ]
 
+let flag_value a ~prefix =
+  let pl = String.length prefix in
+  if String.length a > pl && String.sub a 0 pl = prefix then
+    Some (String.sub a pl (String.length a - pl))
+  else None
+
 let () =
   (* [--jobs=N] (anywhere on the command line) sets the Domain_pool
-     default for every section; QCONGEST_JOBS overrides it. [--smoke]
-     shrinks sizes for the sections that honor QCONGEST_PERF_SMOKE. *)
+     default for every section; QCONGEST_JOBS overrides it.
+     [--shards=K] likewise sets the engine's default shard count
+     (QCONGEST_SHARDS overrides). [--sizes=N,N,...] pins the perf
+     section's scale-case sizes (exported as QCONGEST_PERF_SIZES).
+     [--smoke] shrinks sizes for the sections that honor
+     QCONGEST_PERF_SMOKE. *)
   let args =
     List.filter
       (fun a ->
@@ -37,16 +47,44 @@ let () =
           false
         end
         else
-          match String.index_opt a '=' with
-          | Some i when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
-            (match int_of_string_opt (String.sub a (i + 1) (String.length a - i - 1)) with
+          match flag_value a ~prefix:"--jobs=" with
+          | Some v ->
+            (match int_of_string_opt v with
             | Some j when j >= 1 ->
               Util.Domain_pool.set_default_jobs j;
               false
             | _ ->
               Printf.eprintf "bad --jobs value in %S\n" a;
               exit 1)
-          | _ -> true)
+          | None ->
+            (match flag_value a ~prefix:"--shards=" with
+            | Some v ->
+              (match int_of_string_opt v with
+              | Some k when k >= 1 ->
+                Congest.Shard.set_default_shards k;
+                false
+              | _ ->
+                Printf.eprintf "bad --shards value in %S\n" a;
+                exit 1)
+            | None ->
+              (match flag_value a ~prefix:"--sizes=" with
+              | Some v ->
+                let ok =
+                  String.split_on_char ',' v
+                  |> List.for_all (fun t ->
+                         match int_of_string_opt (String.trim t) with
+                         | Some n -> n >= 2
+                         | None -> false)
+                in
+                if ok && v <> "" then begin
+                  Unix.putenv "QCONGEST_PERF_SIZES" v;
+                  false
+                end
+                else begin
+                  Printf.eprintf "bad --sizes value in %S (want N,N,... with N >= 2)\n" a;
+                  exit 1
+                end
+              | None -> true)))
       (List.tl (Array.to_list Sys.argv))
   in
   let requested =

@@ -128,12 +128,29 @@ val with_phase_spans : (unit -> 'a) -> 'a
     workers profile independently; the previous state is restored when
     [f] returns or raises. Runs without a sink are unaffected. *)
 
+val with_shards : ?min_active:int -> shards:int -> (unit -> 'a) -> 'a
+(** [with_shards ~shards f] runs [f] with ambient domain-sharding
+    enabled: every {!run} started by [f] on this domain (without its
+    own explicit [?shards]/[?shard_plan]) fans its init and per-round
+    handler execution out over [shards] contiguous node ranges (see
+    {!Shard}). Semantics are bit-identical to the single-domain run —
+    same states, trace, event stream and replay — because every
+    delivery is replayed sequentially in node-id order by the
+    coordinator. [?min_active] (default {!Shard.default_min_active})
+    is the active-set size below which a round stays on the calling
+    domain; it is a scheduling decision only. Like {!with_deadline}
+    the switch is domain-local and restored when [f] returns or
+    raises. *)
+
 val run :
   ?bandwidth:int ->
   ?max_rounds:int ->
   ?deadline:float ->
   ?clock:Telemetry.Clock.t ->
   ?phase_spans:bool ->
+  ?shards:int ->
+  ?shard_plan:Shard.plan ->
+  ?shard_min_active:int ->
   ?on_message:(round:int -> src:int -> dst:int -> words:int -> unit) ->
   ?faults:Fault.t ->
   ?sink:Telemetry.Events.sink ->
@@ -174,6 +191,24 @@ val run :
     time with. Spans are pure observation: they require a sink, and
     with them off no clock is read and the run is bit-for-bit the
     historical behaviour.
+
+    [?shards] (or a full [?shard_plan], e.g. {!Shard.degree_balanced};
+    default: the ambient {!with_shards} scope, else
+    {!Shard.default_shards} — [QCONGEST_SHARDS] / [--shards], else 1)
+    fans the init pass and each sufficiently large round
+    ([?shard_min_active] active nodes or more, default
+    {!Shard.default_min_active}) out across that many domains, one
+    contiguous node range each, on a persistent {!Shard.Team} joined
+    before [run] returns. Handlers run in parallel over disjoint
+    state/inbox slices; the actions they return are exchanged and
+    replayed by the coordinator in ascending node-id order, so the
+    fault-RNG draw order, the event stream, the trace counters and the
+    final states are bit-identical to the single-domain run at every
+    shard count (pinned by the golden-equivalence suite and
+    [Check.Congest_audit]). Sharded rounds additionally bracket the
+    replay into [engine.exchange] spans when phase spans are on. When
+    one or more handlers raise, the exception of the lowest-id shard
+    propagates; whether later nodes of that round ran is unspecified.
 
     [?sink] receives the full structured event stream (see
     {!Telemetry.Events}): [Run_start], per-round [Round_start],

@@ -1,0 +1,94 @@
+(** Domain-sharding of the engine's node set.
+
+    A {!plan} assigns every node of an [n]-node graph to one of [k]
+    shards as a contiguous CSR id range — an edge-cut partition whose
+    cut edges are exactly the arcs crossing a range boundary. Shard
+    [w] owns nodes [bounds.(w) .. bounds.(w+1) - 1]; ranges are
+    allowed to be empty (so any [k >= 1] is valid for any [n],
+    including [k > n]).
+
+    {!Team} is the persistent worker pool the engine fans rounds out
+    on: [k - 1] long-lived domains plus the calling domain, meeting at
+    a mutex/condvar barrier per parallel region, so a million-round
+    simulation never pays a [Domain.spawn] per round. *)
+
+type plan
+
+val contiguous : n:int -> shards:int -> plan
+(** Equal node counts: range sizes differ by at most one (the
+    [Util.Domain_pool.chunk] split). Raises [Invalid_argument] when
+    [n < 0] or [shards < 1]. *)
+
+val degree_balanced : Graphlib.Wgraph.t -> shards:int -> plan
+(** Contiguous ranges balanced by directed-arc count instead of node
+    count: boundary [w] is placed at the first node whose CSR prefix
+    reaches [w/k] of all arcs. On skewed-degree graphs this evens the
+    per-shard delivery/compute work that {!contiguous} would pile onto
+    the dense shards. Raises [Invalid_argument] when [shards < 1]. *)
+
+val shards : plan -> int
+val n : plan -> int
+
+val bounds : plan -> int array
+(** Length [shards + 1], non-decreasing, [bounds.(0) = 0] and
+    [bounds.(shards) = n]. Do not mutate. *)
+
+val shard_of : plan -> int -> int
+(** Shard owning a node id (binary search over {!bounds}). Raises
+    [Invalid_argument] out of range. *)
+
+val pp : Format.formatter -> plan -> unit
+
+(** {1 Default shard count}
+
+    Mirrors [Util.Domain_pool]'s jobs plumbing: the engine resolves
+    its shard count as explicit [?shards] argument, else the ambient
+    [Engine.with_shards] scope, else this module's default —
+    [QCONGEST_SHARDS], else {!set_default_shards}, else [1] (sharding
+    is strictly opt-in; the single-domain path is untouched). *)
+
+val env_var : string
+(** ["QCONGEST_SHARDS"]. *)
+
+val validate_env : unit -> (int option, string) result
+(** [Ok None] when unset, [Ok (Some k)] for a valid positive count,
+    [Error message] otherwise — so the CLI can reject a typo as a
+    usage error before any engine run trips over it. *)
+
+val set_default_shards : int -> unit
+(** Process-wide default (the [--shards] flag). The environment
+    variable takes precedence. Raises [Invalid_argument] on [< 1]. *)
+
+val default_shards : unit -> int
+(** Resolution described above; raises [Invalid_argument] when the
+    environment variable is set but invalid. *)
+
+val default_min_active : int
+(** Minimum active nodes in a round before the engine fans the round
+    out to the team (1024): below it the barrier costs more than the
+    parallel work saves. Semantics are identical either way — the
+    cutoff is purely a scheduling decision. *)
+
+(** {1 Worker team} *)
+
+module Team : sig
+  type t
+
+  val create : size:int -> t
+  (** Spawn [size - 1] worker domains (none for [size <= 1]). Raises
+      [Invalid_argument] when [size < 1]. *)
+
+  val size : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f w] for every shard index [w] in
+      [0 .. size-1] concurrently ([f 0] on the calling domain) and
+      returns once all have finished — a full barrier. When one or
+      more [f w] raise, the exception of the lowest raising shard
+      index is re-raised after the barrier. Not reentrant: do not call
+      [run] from inside [f]. *)
+
+  val stop : t -> unit
+  (** Join the worker domains. Idempotent; the team is unusable
+      afterwards. *)
+end

@@ -9,48 +9,70 @@ let draw_weight weighting rng =
 
 let edge weighting rng u v = { Wgraph.u; v; w = draw_weight weighting rng }
 
+(* [Array.init] with a guaranteed ascending application order, so the
+   seeded RNG draws of every generator below happen in exactly the
+   order the historical list-based builders made them — pinned
+   instances (and the traces recorded on them) stay bit-identical. *)
+let init_edges len f =
+  if len <= 0 then [||]
+  else begin
+    let a = Array.make len (f 0) in
+    for i = 1 to len - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
 let path ~n ~weighting ~rng =
   if n < 1 then invalid_arg "Gen.path";
-  Wgraph.make ~n (List.init (n - 1) (fun i -> edge weighting rng i (i + 1)))
+  Wgraph.of_edge_array ~n (init_edges (n - 1) (fun i -> edge weighting rng i (i + 1)))
 
 let cycle ~n ~weighting ~rng =
   if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
-  Wgraph.make ~n (List.init n (fun i -> edge weighting rng i ((i + 1) mod n)))
+  Wgraph.of_edge_array ~n (init_edges n (fun i -> edge weighting rng i ((i + 1) mod n)))
 
 let star ~n ~weighting ~rng =
   if n < 1 then invalid_arg "Gen.star";
-  Wgraph.make ~n (List.init (n - 1) (fun i -> edge weighting rng 0 (i + 1)))
+  Wgraph.of_edge_array ~n (init_edges (n - 1) (fun i -> edge weighting rng 0 (i + 1)))
 
 let complete ~n ~weighting ~rng =
   if n < 1 then invalid_arg "Gen.complete";
-  let es = ref [] in
+  let es = Array.make (n * (n - 1) / 2) { Wgraph.u = 0; v = 0; w = 1 } in
+  let k = ref 0 in
   for u = 0 to n - 1 do
     for v = u + 1 to n - 1 do
-      es := edge weighting rng u v :: !es
+      es.(!k) <- edge weighting rng u v;
+      incr k
     done
   done;
-  Wgraph.make ~n !es
+  Wgraph.of_edge_array ~n es
 
 let grid ~rows ~cols ~weighting ~rng =
   if rows < 1 || cols < 1 then invalid_arg "Gen.grid";
   let id r c = (r * cols) + c in
-  let es = ref [] in
+  let es =
+    Array.make ((rows * (cols - 1)) + ((rows - 1) * cols)) { Wgraph.u = 0; v = 0; w = 1 }
+  in
+  let k = ref 0 in
+  let push e =
+    es.(!k) <- e;
+    incr k
+  in
   for r = 0 to rows - 1 do
     for c = 0 to cols - 1 do
-      if c + 1 < cols then es := edge weighting rng (id r c) (id r (c + 1)) :: !es;
-      if r + 1 < rows then es := edge weighting rng (id r c) (id (r + 1) c) :: !es
+      if c + 1 < cols then push (edge weighting rng (id r c) (id r (c + 1)));
+      if r + 1 < rows then push (edge weighting rng (id r c) (id (r + 1) c))
     done
   done;
-  Wgraph.make ~n:(rows * cols) !es
+  Wgraph.of_edge_array ~n:(rows * cols) es
 
 let random_tree ~n ~weighting ~rng =
   if n < 1 then invalid_arg "Gen.random_tree";
-  let es = ref [] in
-  for v = 1 to n - 1 do
-    let parent = Util.Rng.int rng v in
-    es := edge weighting rng parent v :: !es
-  done;
-  Wgraph.make ~n !es
+  Wgraph.of_edge_array ~n
+    (init_edges (n - 1) (fun i ->
+         let v = i + 1 in
+         let parent = Util.Rng.int rng v in
+         edge weighting rng parent v))
 
 let gnp_connected ~n ~p ~weighting ~rng =
   if n < 1 then invalid_arg "Gen.gnp_connected";
@@ -69,30 +91,35 @@ let gnp_connected ~n ~p ~weighting ~rng =
   done;
   Wgraph.make ~n !es
 
-let clique_edges weighting rng ~offset ~size acc =
-  let acc = ref acc in
+let clique_edges weighting rng ~offset ~size push =
   for u = 0 to size - 1 do
     for v = u + 1 to size - 1 do
-      acc := edge weighting rng (offset + u) (offset + v) :: !acc
+      push (edge weighting rng (offset + u) (offset + v))
     done
-  done;
-  !acc
+  done
 
 let cliques_chain ~closed ~cliques ~clique_size ~weighting ~rng =
   if cliques < 1 || clique_size < 1 then invalid_arg "Gen.cliques_chain";
   if closed && cliques < 3 then invalid_arg "Gen.cliques_cycle: need >= 3 cliques";
   let n = cliques * clique_size in
-  let es = ref [] in
+  let bridges = if closed then cliques else cliques - 1 in
+  let m = (cliques * (clique_size * (clique_size - 1) / 2)) + max 0 bridges in
+  let es = Array.make (max 1 m) { Wgraph.u = 0; v = 0; w = 1 } in
+  let k = ref 0 in
+  let push e =
+    es.(!k) <- e;
+    incr k
+  in
   for c = 0 to cliques - 1 do
-    es := clique_edges weighting rng ~offset:(c * clique_size) ~size:clique_size !es
+    clique_edges weighting rng ~offset:(c * clique_size) ~size:clique_size push
   done;
   let last = if closed then cliques - 1 else cliques - 2 in
   for c = 0 to last do
     let next = (c + 1) mod cliques in
     (* Bridge: last node of clique c to first node of clique next. *)
-    es := edge weighting rng ((c * clique_size) + clique_size - 1) (next * clique_size) :: !es
+    push (edge weighting rng ((c * clique_size) + clique_size - 1) (next * clique_size))
   done;
-  Wgraph.make ~n !es
+  Wgraph.of_edge_array ~n (if !k = Array.length es then es else Array.sub es 0 !k)
 
 let cliques_cycle ~cliques ~clique_size ~weighting ~rng =
   cliques_chain ~closed:true ~cliques ~clique_size ~weighting ~rng
@@ -103,16 +130,22 @@ let cliques_path ~cliques ~clique_size ~weighting ~rng =
 let barbell ~clique_size ~path_len ~weighting ~rng =
   if clique_size < 1 || path_len < 1 then invalid_arg "Gen.barbell";
   let n = (2 * clique_size) + path_len in
-  let es = ref [] in
-  es := clique_edges weighting rng ~offset:0 ~size:clique_size !es;
-  es := clique_edges weighting rng ~offset:(clique_size + path_len) ~size:clique_size !es;
+  let m = (2 * (clique_size * (clique_size - 1) / 2)) + (path_len - 1) + 2 in
+  let es = Array.make m { Wgraph.u = 0; v = 0; w = 1 } in
+  let k = ref 0 in
+  let push e =
+    es.(!k) <- e;
+    incr k
+  in
+  clique_edges weighting rng ~offset:0 ~size:clique_size push;
+  clique_edges weighting rng ~offset:(clique_size + path_len) ~size:clique_size push;
   (* Path nodes occupy [clique_size, clique_size + path_len). *)
   for i = 0 to path_len - 2 do
-    es := edge weighting rng (clique_size + i) (clique_size + i + 1) :: !es
+    push (edge weighting rng (clique_size + i) (clique_size + i + 1))
   done;
-  es := edge weighting rng (clique_size - 1) clique_size :: !es;
-  es := edge weighting rng (clique_size + path_len - 1) (clique_size + path_len) :: !es;
-  Wgraph.make ~n !es
+  push (edge weighting rng (clique_size - 1) clique_size);
+  push (edge weighting rng (clique_size + path_len - 1) (clique_size + path_len));
+  Wgraph.of_edge_array ~n es
 
 let weighted_hard_diameter ~n ~heavy ~rng =
   if n < 4 then invalid_arg "Gen.weighted_hard_diameter: need n >= 4";
@@ -124,16 +157,20 @@ let weighted_hard_diameter ~n ~heavy ~rng =
      nodes are ~2*heavy. This is the regime where weighted and
      unweighted diameter/radius diverge. *)
   let remote v = v mod 7 = 3 in
-  let es = ref [] in
+  let es = Array.make (max 1 (2 * n)) { Wgraph.u = 0; v = 0; w = 1 } in
+  let k = ref 0 in
+  let push e =
+    es.(!k) <- e;
+    incr k
+  in
   for v = 1 to n - 1 do
-    let w = if remote v then heavy else 1 in
-    es := { Wgraph.u = 0; v; w } :: !es
+    push { Wgraph.u = 0; v; w = (if remote v then heavy else 1) }
   done;
   for v = 1 to n - 2 do
     if (not (remote v)) && not (remote (v + 1)) then
-      es := { Wgraph.u = v; v = v + 1; w = 1 + Util.Rng.int rng 3 } :: !es
+      push { Wgraph.u = v; v = v + 1; w = 1 + Util.Rng.int rng 3 }
   done;
-  Wgraph.make ~n !es
+  Wgraph.of_edge_array ~n (Array.sub es 0 !k)
 
 let reweight g ~weighting ~rng =
   Wgraph.map_weights g ~f:(fun ~u:_ ~v:_ ~w:_ -> draw_weight weighting rng)
