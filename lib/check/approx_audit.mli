@@ -21,6 +21,7 @@
 val thm11 :
   ?config:Core.Algorithm.config ->
   ?tamper:float ->
+  ?oracle:Oracle.t ->
   Graphlib.Wgraph.t ->
   Core.Algorithm.objective ->
   rng:Util.Rng.t ->
@@ -28,16 +29,24 @@ val thm11 :
 (** Run the Theorem 1.1 pipeline and certify the result. [?tamper]
     multiplies the reported estimate before auditing — the negative
     control proving the certifier can reject (a factor outside
-    [(1+ε)²] must fail). *)
+    [(1+ε)²] must fail). [?oracle] (default {!Oracle.direct})
+    substitutes the ground-truth computation — e.g. the daemon's
+    memoized [Serve.Cache.oracle] — without changing the certificate
+    a correct oracle produces. *)
 
 val thm11_result :
   ?tamper:float ->
+  ?oracle:Oracle.t ->
   Graphlib.Wgraph.t ->
   Core.Algorithm.result ->
   Report.certificate
 (** Certify an already-computed result (the sweep-audit path). *)
 
 val three_halves :
-  ?tamper:float -> Graphlib.Wgraph.t -> rng:Util.Rng.t -> Report.certificate
+  ?tamper:float ->
+  ?oracle:Oracle.t ->
+  Graphlib.Wgraph.t ->
+  rng:Util.Rng.t ->
+  Report.certificate
 (** Run and certify the classical 3/2-approximation of the unweighted
     diameter. *)

@@ -96,8 +96,8 @@ let run cfg =
   in
   { Report.certificates }
 
-let sweep_report spec store =
-  { Report.certificates = [ Sweep_audit.audit_store spec store ] }
+let sweep_report ?oracle ?graph_of_job spec store =
+  { Report.certificates = [ Sweep_audit.audit_store ?oracle ?graph_of_job spec store ] }
 
 (* Deliberately not part of [run]'s certifier list: the chaos suite
    spins real sweeps, sleeps through real backoff and burns a real

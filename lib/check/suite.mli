@@ -42,9 +42,17 @@ val run : config -> Report.report
 (** Raises [Invalid_argument] if [only] names an unknown certifier or
     [shards < 1]. *)
 
-val sweep_report : Harness.Spec.t -> Harness.Store.t -> Report.report
+val sweep_report :
+  ?oracle:Oracle.t ->
+  ?graph_of_job:(Harness.Spec.t -> Harness.Spec.job -> Graphlib.Wgraph.t) ->
+  Harness.Spec.t ->
+  Harness.Store.t ->
+  Report.report
 (** {!Sweep_audit.audit_store} wrapped as a one-certificate report —
-    the [qcongest check sweep] / [sweep run --audit] entry point. *)
+    the [qcongest check sweep] / [sweep run --audit] entry point. The
+    optional oracle and instance injections (see {!Sweep_audit}) are
+    how the daemon's caches speed up re-certification without touching
+    its output. *)
 
 val chaos :
   ?seed:int -> ?deadline_s:float -> ?negative_control:bool -> unit -> Report.report

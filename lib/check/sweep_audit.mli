@@ -19,13 +19,30 @@
     (noted, not violations — the sweep already reports them); a store
     with no auditable rows yields [Inconclusive]. *)
 
-val expected_exact : Harness.Spec.t -> Harness.Spec.job -> int
+val expected_exact : ?oracle:Oracle.t -> Harness.Spec.t -> Harness.Spec.job -> int
 (** The recomputed ground truth for a job cell: weighted
     diameter/radius for the weighted algorithms, unweighted diameter
     for the unweighted ones, fault-free BFS depth for
     [Bfs_reliable]. *)
 
-val audit_row : Harness.Spec.t -> Harness.Spec.job -> string -> Report.violation list
-(** Audit one raw checkpoint row (empty list = clean). *)
+val audit_row :
+  ?oracle:Oracle.t ->
+  ?graph_of_job:(Harness.Spec.t -> Harness.Spec.job -> Graphlib.Wgraph.t) ->
+  Harness.Spec.t ->
+  Harness.Spec.job ->
+  string ->
+  Report.violation list
+(** Audit one raw checkpoint row (empty list = clean). [?oracle]
+    (default {!Oracle.direct}) substitutes the ground-truth
+    computation; [?graph_of_job] (default [Harness.Runner.make_graph]
+    on the cell's [n]/[seed]) substitutes instance construction — the
+    daemon injects its content-addressed instance cache here. Both
+    must be observationally identical to their defaults; they change
+    cost, never certificates. *)
 
-val audit_store : Harness.Spec.t -> Harness.Store.t -> Report.certificate
+val audit_store :
+  ?oracle:Oracle.t ->
+  ?graph_of_job:(Harness.Spec.t -> Harness.Spec.job -> Graphlib.Wgraph.t) ->
+  Harness.Spec.t ->
+  Harness.Store.t ->
+  Report.certificate

@@ -305,7 +305,11 @@ let run ?jobs ?max_jobs ?shards ?(retry = no_retry) ?deadline_s ?(sleep = Unix.s
     match !qstore with
     | Some q -> q
     | None ->
-      let q = Store.load ~lock:false ~path:(quarantine_path store) () in
+      (* The runner appends poison rows here, so this is a writer's
+         open: it takes the quarantine store's own lock (re-entrant
+         for this process) rather than the read-only [~lock:false]
+         path, which since the lock-coexistence fix never writes. *)
+      let q = Store.load ~path:(quarantine_path store) () in
       qstore := Some q;
       q
   in
@@ -360,6 +364,9 @@ let run ?jobs ?max_jobs ?shards ?(retry = no_retry) ?deadline_s ?(sleep = Unix.s
         batch rows;
       on_progress ~completed:(settled ()) ~total)
     (batches (max 1 domain_count) pending);
+  (* Release the quarantine store's writer lock (the main store's lock
+     belongs to the caller that opened it). *)
+  (match !qstore with Some q -> Store.close q | None -> ());
   (!executed, !failed)
 
 (* ------------------------------ report ----------------------------- *)

@@ -2,6 +2,7 @@ type t = {
   path : string;
   fsync : bool;
   owns_lock : bool;
+  read_only : bool;  (** Opened with [~lock:false]: never writes. *)
   mutable closed : bool;
   ids : (string, unit) Hashtbl.t;
   mutable entries : (string * string) list;  (** Reversed insertion order. *)
@@ -155,6 +156,7 @@ let load ?(fsync = false) ?(lock = true) ~path () =
       path;
       fsync;
       owns_lock;
+      read_only = not lock;
       closed = false;
       ids = Hashtbl.create 64;
       entries = [];
@@ -195,30 +197,39 @@ let load ?(fsync = false) ?(lock = true) ~path () =
     let kept, bad = consume [] [] lines in
     t.entries <- List.rev kept;
     t.quarantined <- List.length bad;
-    if bad <> [] then begin
-      let cpath = sibling path ~tag:"corrupt" in
-      Telemetry.Export.mkdir_p (Filename.dirname cpath);
-      let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 cpath in
-      List.iter
-        (fun line ->
-          output_string oc line;
-          output_char oc '\n')
-        bad;
-      flush oc;
-      if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
-      close_out oc
-    end;
-    (* Rewrite whenever the on-disk bytes and the loaded rows disagree.
-       Survivors are re-framed, which transparently upgrades legacy v1
-       lines touched by a repair. *)
-    if t.dropped > 0 || t.quarantined > 0 || not ends_with_nl then begin
-      let b = Buffer.create (String.length content) in
-      List.iter
-        (fun (_, logical) ->
-          Buffer.add_string b (frame logical);
-          Buffer.add_char b '\n')
-        kept;
-      Telemetry.Export.write_file_atomic ~fsync ~path (Buffer.contents b)
+    (* Repairs are a writer's privilege. A [~lock:false] open is a
+       read-only observation of a store somebody else may own: what
+       looks like a "partial trailing line" here can be a perfectly
+       healthy append in flight on the owner's side, so rewriting (or
+       quarantining to the sibling) from this handle would race the
+       owner and lose its row. Read-only handles keep the surviving
+       rows in memory and leave every on-disk byte alone. *)
+    if not t.read_only then begin
+      if bad <> [] then begin
+        let cpath = sibling path ~tag:"corrupt" in
+        Telemetry.Export.mkdir_p (Filename.dirname cpath);
+        let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 cpath in
+        List.iter
+          (fun line ->
+            output_string oc line;
+            output_char oc '\n')
+          bad;
+        flush oc;
+        if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+        close_out oc
+      end;
+      (* Rewrite whenever the on-disk bytes and the loaded rows disagree.
+         Survivors are re-framed, which transparently upgrades legacy v1
+         lines touched by a repair. *)
+      if t.dropped > 0 || t.quarantined > 0 || not ends_with_nl then begin
+        let b = Buffer.create (String.length content) in
+        List.iter
+          (fun (_, logical) ->
+            Buffer.add_string b (frame logical);
+            Buffer.add_char b '\n')
+          kept;
+        Telemetry.Export.write_file_atomic ~fsync ~path (Buffer.contents b)
+      end
     end
   end;
   t
@@ -251,11 +262,16 @@ let peek ~path =
         | Some row -> consume (row :: acc) rest
         | None -> consume acc rest)
     in
-    (consume [] (String.split_on_char '\n' content), !skipped)
+    (* Bind the rows before reading the counter: a tuple would
+       evaluate right-to-left and snapshot [skipped] at 0. *)
+    let rows = consume [] (String.split_on_char '\n' content) in
+    (rows, !skipped)
   end
 
 let append t ~id row =
   if t.closed then invalid_arg "Store.append: store is closed";
+  if t.read_only then
+    invalid_arg "Store.append: store was opened read-only (~lock:false)";
   if String.contains row '\n' then invalid_arg "Store.append: row contains a newline";
   (match row_id row with
   | Some rid when rid = id -> ()

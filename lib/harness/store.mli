@@ -26,7 +26,40 @@
       its framing) is a deterministic function of its job, an
       interrupted-then-resumed sweep ends with a store whose row
       {e set} — and therefore the report generated from it — is
-      byte-identical to an uninterrupted run's. *)
+      byte-identical to an uninterrupted run's.
+
+    {2 Lock protocol}
+
+    Every store path has exactly three access modes, and the mode is
+    chosen at {!load} time:
+
+    - {b writer} ([load] with [~lock] true, the default): creates
+      [path ^ ".lock"] with [O_EXCL] and stamps it with the caller's
+      pid. Writers are the only handles allowed to {!append} and the
+      only handles that {e repair} — quarantining corrupt mid-file
+      lines to [*.corrupt.jsonl], truncating a partial tail, and
+      atomically rewriting the store. A second process attempting a
+      writer open sees the stamp: a {e live} holder raises {!Locked};
+      a {e dead} holder's lock is stale and stolen silently (so a
+      SIGKILLed daemon never wedges the next run). The same pid
+      re-opens freely and [close] releases only its own stamp.
+    - {b read-only} ([load ~lock:false]): no lock is taken, no stale
+      lock is stolen, and {e no byte on disk is ever written} — no
+      repair rewrite, no corrupt-sibling append. Damaged lines are
+      still counted ({!dropped_lines}/{!quarantined_lines}) and the
+      surviving rows are all visible in memory, but what looks like a
+      partial trailing line may be a healthy append in flight on the
+      owner's side, so judgement (and repair) is deferred to the next
+      writer. {!append} on such a handle raises [Invalid_argument].
+    - {b peek} ({!peek}): the cheapest observation — no handle, no
+      lock, no mutation, skip-and-count on damage. What [qcongest
+      top], {!Profile.Monitor} and the [qcongestd] status endpoints
+      use against stores a live runner owns.
+
+    The invariant the three modes preserve: at most one process writes
+    a store at a time, and observers never mutate (or steal the lock
+    of) a store they do not own — a monitor pointed at a daemon-owned
+    store reports live progress instead of racing the daemon's lock. *)
 
 type t
 
@@ -40,8 +73,10 @@ val load : ?fsync:bool -> ?lock:bool -> path:string -> unit -> t
     any repair rewrite — force data to disk before returning.
     [~lock] (default [true]) acquires the single-runner lock, raising
     {!Locked} if a different live process holds it; the same process
-    may re-open freely. Raises [Sys_error] only on genuine I/O
-    failure, never on corruption. *)
+    may re-open freely. [~lock:false] opens a {e read-only} handle per
+    the lock protocol above: it never locks, repairs or writes, and
+    {!append} on it raises [Invalid_argument]. Raises [Sys_error] only
+    on genuine I/O failure, never on corruption. *)
 
 val close : t -> unit
 (** Release the lock (if this handle acquired it). Idempotent; a

@@ -1,0 +1,76 @@
+(** Shared caches of the simulation service.
+
+    Two memoizations dominate a daemon's repeat work, and both are
+    pure functions of content-addressed keys:
+
+    - {b instances}: a job cell's graph is a function of
+      [(family, max_w, n, seed)] — the same FNV-1a cell hashing scheme
+      {!Harness.Spec} uses for job ids keys a CSR graph cache, so
+      re-certification and repeat submissions stop rebuilding
+      million-edge instances;
+    - {b oracles}: eccentricity arrays (APSP weighted, BFS hop) are
+      functions of the graph alone, keyed here by a content
+      fingerprint (FNV-1a over [n] and the exact edge array), so
+      structurally equal graphs share one entry and different graphs
+      can never alias.
+
+    Both sit behind a thread-safe bounded {!Lru} whose
+    hit/miss/eviction counters land in {!Telemetry.Metrics} under
+    [serve.cache.<name>.*] — the Prometheus series the CI smoke uses
+    to prove a second identical request was served warm. *)
+
+module Lru : sig
+  type 'a t
+
+  val create : ?metrics:Telemetry.Metrics.t -> name:string -> capacity:int -> unit -> 'a t
+  (** Bounded least-recently-used map with string keys. [capacity 0]
+      disables residency (every lookup computes; counters still
+      move). [?metrics] mirrors the counters into a registry as
+      [serve.cache.<name>.hits]/[.misses]/[.evictions] and a [.size]
+      gauge. Raises [Invalid_argument] on a negative capacity.
+      All operations are thread-safe. *)
+
+  val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+  (** Return the cached value for the key, computing (and inserting)
+      it on a miss; insertion beyond capacity evicts the least
+      recently used entries. The compute thunk runs under the cache
+      lock, so concurrent callers of the same key compute once. *)
+
+  val mem : 'a t -> string -> bool
+  val length : 'a t -> int
+  val capacity : 'a t -> int
+
+  type stats = { hits : int; misses : int; evictions : int }
+
+  val stats : 'a t -> stats
+end
+
+val graph_fingerprint : Graphlib.Wgraph.t -> string
+(** FNV-1a64 hex of the node count and the exact (deduplicated,
+    [u < v]-ordered) edge array — equal iff the graphs are equal as
+    weighted graphs. O(m). *)
+
+val cell_key : Harness.Spec.t -> n:int -> seed:int -> string
+(** The instance-cache key of a spec cell: FNV-1a64 over
+    [(family, max_w, n, seed)] — deliberately {e excluding} the
+    algorithm, because every algorithm in a cell shares one
+    instance. *)
+
+val oracle :
+  ?metrics:Telemetry.Metrics.t ->
+  capacity:int ->
+  unit ->
+  Check.Oracle.t * Graphlib.Dist.t array Lru.t
+(** An oracle whose eccentricity computations are memoized by graph
+    fingerprint in one LRU (weighted and hop arrays are distinct
+    entries; [capacity] counts arrays, so a graph fully audited both
+    ways holds two slots). Byte-identical to {!Check.Oracle.direct}
+    by construction — the property the QCheck test pins. *)
+
+val instances :
+  ?metrics:Telemetry.Metrics.t ->
+  capacity:int ->
+  unit ->
+  (Harness.Spec.t -> Harness.Spec.job -> Graphlib.Wgraph.t) * Graphlib.Wgraph.t Lru.t
+(** A [graph_of_job] drop-in for {!Check.Sweep_audit.audit_store}'s
+    injection point, backed by a {!cell_key}-addressed LRU. *)

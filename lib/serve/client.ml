@@ -1,0 +1,124 @@
+module J = Telemetry.Tjson
+module Hjson = Harness.Hjson
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Hjson.Stream.reader;
+  buf : Bytes.t;
+  mutable closed : bool;
+}
+
+exception Protocol_error of string
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+     raise e);
+  { fd; reader = Hjson.Stream.create (); buf = Bytes.create 8192; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+let send_line t line =
+  if t.closed then invalid_arg "Serve.Client: closed";
+  if String.contains line '\n' then invalid_arg "Serve.Client.send_line: embedded newline";
+  let data = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length data in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd data off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Block until one whole frame is available (or EOF). *)
+let rec read_frame t =
+  match Hjson.Stream.next t.reader with
+  | Some f -> Some f
+  | None -> (
+    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+    | 0 -> None
+    | n ->
+      Hjson.Stream.feed_sub t.reader t.buf ~off:0 ~len:n;
+      read_frame t
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_frame t)
+
+let read_value t =
+  match read_frame t with
+  | None -> raise (Protocol_error "connection closed by the daemon")
+  | Some (Hjson.Stream.Frame v) -> v
+  | Some (Hjson.Stream.Junk { error; _ }) ->
+    raise (Protocol_error ("unparseable reply: " ^ error))
+  | Some (Hjson.Stream.Oversized { dropped; _ }) ->
+    raise (Protocol_error (Printf.sprintf "oversized reply (%d bytes)" dropped))
+
+let request t line =
+  send_line t line;
+  read_value t
+
+type reply = Ok_reply of Hjson.t | Error_reply of { code : string; detail : string }
+
+let classify v =
+  match Hjson.member "ok" v with
+  | Some (Hjson.Bool true) -> Ok_reply v
+  | Some (Hjson.Bool false) ->
+    let get name =
+      match Option.bind (Hjson.member "error" v) (Hjson.member name) with
+      | Some (Hjson.Str s) -> s
+      | _ -> ""
+    in
+    Error_reply { code = get "code"; detail = get "detail" }
+  | _ -> raise (Protocol_error ("reply without an \"ok\" field: " ^ Hjson.print v))
+
+let rpc t fields =
+  classify (request t (J.obj (("proto", J.str Protocol.version) :: fields)))
+
+let ping t = rpc t [ ("op", J.str "ping") ]
+let shutdown t = rpc t [ ("op", J.str "shutdown") ]
+let metrics t = rpc t [ ("op", J.str "metrics") ]
+let jobs t = rpc t [ ("op", J.str "jobs") ]
+let status t ~job = rpc t [ ("op", J.str "status"); ("job", J.str job) ]
+let result t ~job = rpc t [ ("op", J.str "result"); ("job", J.str job) ]
+
+let submit t fields = rpc t (("op", J.str "submit") :: fields)
+
+let job_of_reply = function
+  | Ok_reply v -> (
+    match Hjson.member "job" v with
+    | Some (Hjson.Str id) -> Ok id
+    | _ -> Error ("submit", "reply carried no job id"))
+  | Error_reply { code; detail } -> Error (code, detail)
+
+(* Poll [status] until the job settles, then fetch [result]. *)
+let await ?(poll_s = 0.02) t ~job =
+  let rec go () =
+    match status t ~job with
+    | Error_reply _ as e -> e
+    | Ok_reply v -> (
+      match Option.bind (Hjson.member "state" v) Hjson.to_string_opt with
+      | Some ("done" | "failed") -> result t ~job
+      | Some _ ->
+        Unix.sleepf poll_s;
+        go ()
+      | None -> raise (Protocol_error "status reply without a state"))
+  in
+  go ()
+
+let events t ~job ~on_event =
+  match rpc t [ ("op", J.str "events"); ("job", J.str job) ] with
+  | Error_reply _ as e -> e
+  | Ok_reply _ as ack ->
+    let rec stream () =
+      let v = read_value t in
+      on_event v;
+      match Option.bind (Hjson.member "event" v) Hjson.to_string_opt with
+      | Some "done" -> ack
+      | _ -> stream ()
+    in
+    stream ()

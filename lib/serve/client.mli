@@ -1,0 +1,63 @@
+(** Blocking [qcongest-serve/v1] client.
+
+    A thin synchronous wrapper over the socket: send one JSONL frame,
+    read whole frames back through {!Harness.Hjson.Stream}. This is
+    what the [qcongest client] subcommands, the serve bench and the
+    end-to-end tests use; it is deliberately single-request (no
+    pipelining) — open several clients for concurrency, that is the
+    daemon's job to multiplex. *)
+
+type t
+
+exception Protocol_error of string
+(** The daemon replied with something that is not a protocol frame
+    (or closed the connection mid-reply). *)
+
+val connect : socket:string -> t
+(** Raises [Unix.Unix_error] when nothing listens on [socket]. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Send one raw frame (newline appended). Raises [Invalid_argument]
+    on an embedded newline. *)
+
+val read_frame : t -> Harness.Hjson.Stream.frame option
+(** Block until one whole frame arrives; [None] on EOF. *)
+
+val request : t -> string -> Harness.Hjson.t
+(** [send_line] then block for one parsed reply frame. *)
+
+type reply = Ok_reply of Harness.Hjson.t | Error_reply of { code : string; detail : string }
+
+val classify : Harness.Hjson.t -> reply
+(** Split a reply on its ["ok"] field; raises {!Protocol_error} on a
+    frame that has none. *)
+
+(** {1 Typed operations} — each sends one request and classifies the
+    reply. *)
+
+val ping : t -> reply
+val shutdown : t -> reply
+val metrics : t -> reply
+val jobs : t -> reply
+val status : t -> job:string -> reply
+val result : t -> job:string -> reply
+
+val submit : t -> (string * string) list -> reply
+(** [submit t fields] sends [{"op":"submit", ...fields}]; fields are
+    already-encoded JSON fragments, e.g.
+    [[("kind", Tjson.str "sweep"); ("builtin", Tjson.str "ci-smoke")]]. *)
+
+val job_of_reply : reply -> (string, string * string) result
+(** The job id of a submit acknowledgement, or [(code, detail)]. *)
+
+val await : ?poll_s:float -> t -> job:string -> reply
+(** Poll [status] until the job settles, then fetch its [result].
+    A [Failed] job surfaces as the daemon's [Error_reply]. *)
+
+val events : t -> job:string -> on_event:(Harness.Hjson.t -> unit) -> reply
+(** Subscribe to a job's event stream: replayed history first, then
+    live lines, invoking [on_event] per event until the terminal
+    [done] event. Returns the subscription acknowledgement (or the
+    daemon's error). *)

@@ -1,0 +1,87 @@
+(** The [qcongest-serve/v1] wire protocol.
+
+    Framing is JSONL over a Unix-domain socket: one JSON object per
+    line in both directions ({!Harness.Hjson.Stream} reassembles
+    frames on the read side). Every request may carry a client-chosen
+    ["id"] string, echoed verbatim in the response so a client can
+    pipeline. Parsing is {e total}: any well-formed JSON line maps to
+    either a request or a structured {!error} — the daemon never
+    crashes on input, it replies [ok:false].
+
+    Requests ([op] field): [ping], [submit] (kinds [sweep],
+    [check-sweep], [run]), [status], [result], [events], [metrics],
+    [jobs], [shutdown]. Submissions name a spec either by built-in
+    name ([{"builtin":"ci-smoke"}]) or inline
+    ([{"spec":{...qcongest-sweep-spec/v1...}}]).
+
+    Responses: [{"proto":"qcongest-serve/v1","ok":true,...}] or
+    [{"ok":false,"error":{"code":...,"detail":...}}]. Error codes:
+    [bad-frame] (unparseable line), [oversized-frame], [bad-proto],
+    [bad-request], [bad-spec], [unknown-job], [store-locked],
+    [draining], [internal].
+
+    Asynchronous event lines (to [events] subscribers) carry
+    ["event"] instead of ["ok"]: [progress] (completed/total plus a
+    {!Profile.Monitor}-style rendered row) and [done] (terminal
+    status), always tagged with the job id. *)
+
+val version : string
+(** ["qcongest-serve/v1"]. *)
+
+type error = { code : string; detail : string }
+
+type submit_options = {
+  audit : bool;  (** Re-certify rows after a sweep completes. *)
+  retries : int;  (** Attempts per job (>= 1), as [sweep run --retries]. *)
+  deadline_s : float option;  (** Per-attempt wall-clock budget. *)
+}
+
+val default_options : submit_options
+
+type submit =
+  | Sweep of { spec : Harness.Spec.t; options : submit_options }
+  | Check_sweep of { spec : Harness.Spec.t }
+      (** Re-certify the spec's checkpoint store (the oracle-cache
+          fast path). *)
+  | Run of {
+      spec : Harness.Spec.t;
+      job : Harness.Spec.job;
+      options : submit_options;  (** Only [deadline_s] applies. *)
+    }  (** One algorithm invocation on one cell. *)
+
+type request =
+  | Ping
+  | Submit of submit
+  | Status of string
+  | Result of string
+  | Events of string
+  | Metrics
+  | Jobs
+  | Shutdown
+
+val builtins : (string * Harness.Spec.t) list
+(** The named specs a client can submit without inlining JSON — the
+    same table the CLI's [--builtin] resolves against. *)
+
+val parse_request : Harness.Hjson.t -> string option * (request, error) result
+(** Total: the first component is the echoed client ["id"] (if any),
+    the second either the decoded request or the structured error to
+    reply with. *)
+
+val submit_key : submit -> string
+(** Canonical content string of a submission — what the daemon's
+    deterministic job ids hash. Identical submissions (same spec,
+    same options) have identical keys. *)
+
+val submit_kind : submit -> string
+(** ["sweep"], ["check-sweep"] or ["run"]. *)
+
+(** {1 Line builders} — each returns one newline-free JSON object. *)
+
+val ok_line : ?id:string -> (string * string) list -> string
+(** Field values must be already-encoded JSON fragments
+    ({!Telemetry.Tjson} style). *)
+
+val error_line : ?id:string -> code:string -> detail:string -> unit -> string
+
+val event_line : job:string -> event:string -> (string * string) list -> string

@@ -1,0 +1,191 @@
+(* Process-level smoke for qcongestd: the lifecycle properties that
+   need a real daemon process rather than an in-process thread.
+
+     - graceful drain: a SIGTERMed daemon finishes its queue, releases
+       the store lock and removes its socket;
+     - chaos: a SIGKILLed daemon leaves at worst a stale lock and a
+       stale socket — the one-shot CLI resumes the interrupted sweep
+       (stealing the dead pid's lock), and a fresh daemon reclaims the
+       stale socket;
+     - warm service: a second identical re-certification is served
+       from the oracle cache (hit counters strictly increase).
+
+   Run via `dune build @serve-smoke` (also under `dune runtest`);
+   argv.(1) is the CLI executable. The driver links lib/serve so it
+   can speak the protocol directly instead of scraping stdout. *)
+
+module Client = Serve.Client
+module Spec = Harness.Spec
+module J = Telemetry.Tjson
+
+let failures = ref 0
+
+let fail fmt = Printf.ksprintf (fun m -> Printf.printf "FAIL %s\n%!" m; incr failures) fmt
+let ok fmt = Printf.ksprintf (fun m -> Printf.printf "ok   %s\n%!" m) fmt
+
+let expect what cond = if cond then ok "%s" what else fail "%s" what
+
+let start_daemon exe ~socket ~dir ~log =
+  let log_fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let pid =
+    Unix.create_process exe
+      [| exe; "serve"; "--socket"; socket; "--artifacts"; dir; "--jobs"; "1" |]
+      Unix.stdin log_fd log_fd
+  in
+  Unix.close log_fd;
+  (* Ready when a connect succeeds. *)
+  let rec wait n =
+    if n = 0 then (fail "daemon on %s never became ready" socket; None)
+    else
+      match Client.connect ~socket with
+      | c -> Client.close c; Some pid
+      | exception Unix.Unix_error (_, _, _) ->
+        (match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          Unix.sleepf 0.05;
+          wait (n - 1)
+        | _ -> fail "daemon exited before becoming ready (see %s)" log; None)
+  in
+  wait 200
+
+let reap pid = ignore (Unix.waitpid [] pid)
+
+let oracle_hits c =
+  match Client.metrics c with
+  | Client.Error_reply { code; detail } ->
+    fail "metrics op: %s %s" code detail;
+    -1
+  | Client.Ok_reply v -> (
+    let open Harness.Hjson in
+    match
+      Option.bind
+        (Option.bind
+           (Option.bind (member "metrics" v) (member "serve.cache.oracle.hits"))
+           (member "value"))
+        to_int_opt
+    with
+    | Some h -> h
+    | None -> 0)
+
+let () =
+  if Array.length Sys.argv < 2 then begin
+    prerr_endline "usage: serve_smoke <qcongest-cli-exe>";
+    exit 2
+  end;
+  let exe = Sys.argv.(1) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qcongest_serve_smoke.%d" (Unix.getpid ())) in
+  Unix.mkdir dir 0o755;
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qc-smoke-%d.sock" (Unix.getpid ())) in
+  let spec =
+    Spec.make ~name:"serve-smoke"
+      ~algos:[ Spec.Thm11_diameter; Spec.Classical_diameter ]
+      ~family:(Spec.Ring { cliques = 4 }) ~max_w:8 ~sizes:[ 16; 24; 32 ] ~seeds:[ 1; 2 ] ()
+  in
+  let spec_json = Spec.to_json spec in
+  let store_path = Filename.concat dir "serve-smoke.jsonl" in
+  let submit_fields kind = [ ("kind", J.str kind); ("spec", spec_json) ] in
+
+  (* ---------------- graceful lifecycle + warm cache ---------------- *)
+  (match start_daemon exe ~socket ~dir ~log:(Filename.concat dir "daemon-a.log") with
+  | None -> ()
+  | Some pid ->
+    let c = Client.connect ~socket in
+    (match Client.job_of_reply (Client.submit c (submit_fields "sweep")) with
+    | Error (code, detail) -> fail "sweep submit: %s %s" code detail
+    | Ok job -> (
+      match Client.await c ~job with
+      | Client.Ok_reply _ -> ok "sweep settled through the daemon"
+      | Client.Error_reply { code; detail } -> fail "sweep: %s %s" code detail));
+    let run_check () =
+      match Client.job_of_reply (Client.submit c (submit_fields "check-sweep")) with
+      | Error (code, detail) ->
+        fail "check submit: %s %s" code detail;
+        None
+      | Ok job -> (
+        match Client.await c ~job with
+        | Client.Ok_reply v -> Option.bind (Harness.Hjson.member "status" v) Harness.Hjson.to_string_opt
+        | Client.Error_reply { code; detail } ->
+          fail "check: %s %s" code detail;
+          None)
+    in
+    let s1 = run_check () in
+    let hits_cold = oracle_hits c in
+    let s2 = run_check () in
+    let hits_warm = oracle_hits c in
+    expect "both re-certifications pass" (s1 = Some "pass" && s2 = Some "pass");
+    expect
+      (Printf.sprintf "second identical check hits the oracle cache (%d -> %d)" hits_cold
+         hits_warm)
+      (hits_warm > hits_cold);
+    (* Malformed frame: structured reply, connection intact. *)
+    (match Client.classify (Client.request c "{\"bogus") with
+    | Client.Error_reply { code = "bad-frame"; _ } -> ok "malformed frame gets bad-frame"
+    | _ -> fail "malformed frame not rejected with bad-frame");
+    (match Client.ping c with
+    | Client.Ok_reply _ -> ok "connection survives the bad frame"
+    | Client.Error_reply _ -> fail "connection broken after bad frame");
+    Client.close c;
+    Unix.kill pid Sys.sigterm;
+    reap pid;
+    expect "SIGTERM: socket removed" (not (Sys.file_exists socket));
+    expect "SIGTERM: store lock released" (not (Sys.file_exists (store_path ^ ".lock")));
+    let rows, skipped = Harness.Store.peek ~path:store_path in
+    expect "drained store is complete" (List.length rows = List.length (Spec.jobs spec));
+    expect "drained store is clean" (skipped = 0));
+
+  (* --------------------------- chaos: SIGKILL ---------------------- *)
+  let dir2 = Filename.concat dir "chaos" in
+  Unix.mkdir dir2 0o755;
+  let store2 = Filename.concat dir2 "serve-smoke.jsonl" in
+  (match start_daemon exe ~socket ~dir:dir2 ~log:(Filename.concat dir "daemon-b.log") with
+  | None -> ()
+  | Some pid ->
+    let c = Client.connect ~socket in
+    (match Client.job_of_reply (Client.submit c (submit_fields "sweep")) with
+    | Error (code, detail) -> fail "chaos submit: %s %s" code detail
+    | Ok _ -> ());
+    (* Let the worker get partway into the sweep, then kill -9. *)
+    Unix.sleepf 0.3;
+    Unix.kill pid Sys.sigkill;
+    reap pid;
+    Client.close c;
+    expect "SIGKILL leaves the stale socket behind" (Sys.file_exists socket);
+    (* The one-shot CLI resumes the interrupted store: the dead pid's
+       lock is stale and stolen, missing jobs re-run, and the final
+       row set is exactly the spec's. *)
+    let spec_path = Filename.concat dir2 "serve-smoke.spec.json" in
+    Out_channel.with_open_text spec_path (fun oc -> output_string oc spec_json);
+    let rc =
+      Sys.command
+        (Printf.sprintf "ARTIFACTS_DIR=%s %s sweep run --spec %s > /dev/null"
+           (Filename.quote dir2) (Filename.quote exe) (Filename.quote spec_path))
+    in
+    expect "one-shot CLI resumes the killed daemon's store" (rc = 0);
+    let rows, skipped = Harness.Store.peek ~path:store2 in
+    expect "resumed store is complete" (List.length rows = List.length (Spec.jobs spec));
+    expect "resumed store is clean" (skipped = 0);
+    (* A fresh daemon reclaims the stale socket and serves again. *)
+    (match start_daemon exe ~socket ~dir:dir2 ~log:(Filename.concat dir "daemon-c.log") with
+    | None -> ()
+    | Some pid' ->
+      let c' = Client.connect ~socket in
+      (match Client.ping c' with
+      | Client.Ok_reply _ -> ok "fresh daemon reclaimed the stale socket"
+      | Client.Error_reply _ -> fail "fresh daemon not serving");
+      (match Client.shutdown c' with
+      | Client.Ok_reply _ -> ()
+      | Client.Error_reply { code; detail } -> fail "shutdown: %s %s" code detail);
+      Client.close c';
+      reap pid';
+      expect "second graceful shutdown removes the socket" (not (Sys.file_exists socket))));
+
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  if !failures > 0 then begin
+    Printf.printf "%d serve smoke failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "serve smoke: all checks passed"

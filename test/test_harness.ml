@@ -102,6 +102,92 @@ let prop_hjson_float_roundtrip =
         else Float.abs (f' -. f) <= 1e-8 *. Float.max 1.0 (Float.abs f)
       | _ -> false)
 
+(* --------------------------- Hjson.Stream -------------------------- *)
+
+module Stream = Harness.Hjson.Stream
+
+let drain r =
+  let rec go acc = match Stream.next r with Some f -> go (f :: acc) | None -> List.rev acc in
+  go []
+
+let test_stream_chunk_boundaries () =
+  (* A socket's read boundaries never line up with frames: feeding one
+     byte at a time must reassemble exactly the same frames. *)
+  let open Harness.Hjson in
+  let r = Stream.create () in
+  let got = ref [] in
+  let wire = "{\"op\":\"ping\",\"id\":\"a\"}\n{\"n\":7}\n{\"tail\":true}" in
+  String.iter
+    (fun c ->
+      Stream.feed r (String.make 1 c);
+      got := !got @ drain r)
+    wire;
+  check "two complete frames" 2 (List.length !got);
+  checkb "first parsed" true
+    (match !got with
+    | Stream.Frame v :: _ -> member "op" v = Some (Str "ping")
+    | _ -> false);
+  checkb "second parsed" true
+    (match !got with
+    | [ _; Stream.Frame v ] -> member "n" v = Some (Num 7.0)
+    | _ -> false);
+  checkb "incomplete tail buffered, not emitted" true (Stream.buffered r > 0);
+  Stream.feed r "\n";
+  check "newline completes the tail" 1 (List.length (drain r))
+
+let test_stream_multiframe_chunk () =
+  (* The converse: one chunk carrying many frames drains them in order. *)
+  let r = Stream.create () in
+  Stream.feed r "{\"a\":1}\n\n{\"b\":2}\r\n{\"c\":3}\n";
+  match drain r with
+  | [ Stream.Frame _; Stream.Frame _; Stream.Frame _ ] ->
+    check "blank and CRLF lines leave nothing buffered" 0 (Stream.buffered r)
+  | fs -> Alcotest.failf "expected 3 frames through blank/CRLF noise, got %d" (List.length fs)
+
+let test_stream_junk_resync () =
+  let open Harness.Hjson in
+  let r = Stream.create () in
+  Stream.feed r "{\"ok\":1}\n{\"bogus\n{\"after\":true}\n";
+  match drain r with
+  | [ Stream.Frame _; Stream.Junk { raw; error }; Stream.Frame v ] ->
+    checks "junk line preserved verbatim" "{\"bogus" raw;
+    checkb "parse error carried" true (String.length error > 0);
+    checkb "reader re-synced on the next line" true (member "after" v = Some (Bool true))
+  | _ -> Alcotest.fail "expected frame/junk/frame"
+
+let test_stream_oversized_resync () =
+  let r = Stream.create ~max_frame:16 () in
+  (* Feed an over-budget line in pieces; the reader must not buffer the
+     payload while discarding, and must emit exactly one Oversized when
+     the newline finally lands. *)
+  let big = String.make 64 'x' in
+  Stream.feed r big;
+  Stream.feed r big;
+  checkb "discarding mode holds no payload" true (Stream.buffered r <= 16);
+  checkb "no frame before the newline" true (drain r = []);
+  Stream.feed r "\n{\"after\":1}\n";
+  (match drain r with
+  | [ Stream.Oversized { dropped; max_frame }; Stream.Frame _ ] ->
+    check "budget echoed" 16 max_frame;
+    checkb "dropped counts the payload" true (dropped >= 128)
+  | _ -> Alcotest.fail "expected oversized then frame");
+  checkb "max_frame < 2 rejected" true
+    (match Stream.create ~max_frame:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stream_feed_sub_bounds () =
+  let r = Stream.create () in
+  let buf = Bytes.of_string "??{\"a\":1}\n??" in
+  Stream.feed_sub r buf ~off:2 ~len:8;
+  (match drain r with
+  | [ Stream.Frame _ ] -> ()
+  | _ -> Alcotest.fail "feed_sub range not honoured");
+  checkb "out-of-bounds range rejected" true
+    (match Stream.feed_sub r buf ~off:8 ~len:8 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 (* ------------------------------- Spec ------------------------------ *)
 
 let small_spec =
@@ -345,6 +431,48 @@ let test_store_append_validation () =
   expect_invalid (fun () -> Harness.Store.append s ~id:"b" (row ~id:"mismatch" []));
   expect_invalid (fun () -> Harness.Store.append s ~id:"b" "not json");
   expect_invalid (fun () -> Harness.Store.append s ~id:"b" (row ~id:"b" [] ^ "\n"));
+  Sys.remove path
+
+(* Lock coexistence: a read-only observer must work against a store
+   whose lock a live foreign process (the daemon) holds — without
+   stealing the lock, writing a byte, or repairing. *)
+let test_store_read_only_coexists_with_live_lock () =
+  let path = temp_store_path () in
+  let s = Harness.Store.load ~path () in
+  Harness.Store.append s ~id:"a" (row ~id:"a" [ ("v", "1") ]);
+  Harness.Store.append s ~id:"b" (row ~id:"b" [ ("v", "2") ]);
+  Harness.Store.close s;
+  (* Leave a partial trailing line — an append "in flight" on the
+     owner's side. A writer would truncate it; an observer must not. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"id\":\"half";
+  close_out oc;
+  let bytes_before = In_channel.with_open_bin path In_channel.input_all in
+  let lock_path = path ^ ".lock" in
+  (* pid 1 is always alive: a live foreign holder. *)
+  Telemetry.Export.write_file ~path:lock_path "1\n";
+  (match Harness.Store.load ~path () with
+  | exception Harness.Store.Locked { holder; _ } -> check "writer blocked" 1 holder
+  | _ -> Alcotest.fail "writer open ignored a live foreign lock");
+  let ro = Harness.Store.load ~lock:false ~path () in
+  check "read-only sees the intact rows" 2 (Harness.Store.count ro);
+  check "partial tail counted, not judged" 1 (Harness.Store.dropped_lines ro);
+  checkb "rows readable" true
+    (Harness.Store.find ro "b" = Some (row ~id:"b" [ ("v", "2") ]));
+  (match Harness.Store.append ro ~id:"c" (row ~id:"c" []) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "append succeeded on a read-only handle");
+  Harness.Store.close ro;
+  checkb "foreign lock untouched" true (Sys.file_exists lock_path);
+  checks "on-disk bytes untouched" bytes_before
+    (In_channel.with_open_bin path In_channel.input_all);
+  (* peek — the monitor path — also coexists. *)
+  let rows_seen, skipped = Harness.Store.peek ~path in
+  check "peek sees the rows" 2 (List.length rows_seen);
+  check "peek skips the partial line" 1 skipped;
+  checks "peek leaves bytes alone" bytes_before
+    (In_channel.with_open_bin path In_channel.input_all);
+  Sys.remove lock_path;
   Sys.remove path
 
 (* -------------------------------- Fit ------------------------------ *)
@@ -764,6 +892,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_hjson_int_roundtrip;
           QCheck_alcotest.to_alcotest prop_hjson_float_roundtrip;
         ] );
+      ( "hjson.stream",
+        [
+          Alcotest.test_case "chunk boundaries" `Quick test_stream_chunk_boundaries;
+          Alcotest.test_case "multi-frame chunk" `Quick test_stream_multiframe_chunk;
+          Alcotest.test_case "junk resync" `Quick test_stream_junk_resync;
+          Alcotest.test_case "oversized resync" `Quick test_stream_oversized_resync;
+          Alcotest.test_case "feed_sub bounds" `Quick test_stream_feed_sub_bounds;
+        ] );
       ( "spec",
         [
           Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
@@ -781,6 +917,8 @@ let () =
           Alcotest.test_case "checksum detects bit-flip" `Quick
             test_store_checksum_detects_bitflip;
           Alcotest.test_case "lock file" `Quick test_store_lock;
+          Alcotest.test_case "read-only coexists with live lock" `Quick
+            test_store_read_only_coexists_with_live_lock;
           Alcotest.test_case "fsync mode" `Quick test_store_fsync_mode;
         ] );
       ( "fit",
