@@ -44,6 +44,8 @@ let label_of_algo = function
   | "sssp-2approx" -> "classical 2-approx weighted diameter (SSSP)"
   | "thm11-diameter" -> "THIS WORK: quantum weighted diameter (1+o(1))"
   | "thm11-radius" -> "THIS WORK: quantum weighted radius (1+o(1))"
+  | "wwy-ecc" -> "quantum eccentricities sqrt(nD) [WWY22]"
+  | "wwy-apsp" -> "classical-tight weighted APSP Theta(n) [WWY22]"
   | s -> s
 
 let print_measured () =

@@ -516,6 +516,7 @@ let builtin_specs =
     ("ci-smoke", Harness.Spec.ci_smoke);
     ("thm11-scaling", Harness.Spec.thm11_scaling);
     ("table1-measured", Harness.Spec.table1_measured);
+    ("ecc-scaling", Harness.Spec.ecc_scaling);
   ]
 
 let load_spec spec_file builtin =
@@ -741,7 +742,7 @@ let sweep_cmd =
     Arg.(
       value & opt string "ci-smoke"
       & info [ "builtin" ] ~docv:"NAME"
-          ~doc:"Built-in spec: ci-smoke, thm11-scaling or table1-measured.")
+          ~doc:"Built-in spec: ci-smoke, thm11-scaling, table1-measured or ecc-scaling.")
   in
   let store_arg =
     Arg.(
@@ -1055,7 +1056,7 @@ let check_cmd =
       & info [ "only" ] ~docv:"NAME"
           ~doc:
             "Run only this certifier (repeatable): congest, sharded, approx, gadget, \
-             determinism or amplify. Default: all.")
+             determinism, amplify, ecc or apsp. Default: all.")
   in
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed of the audited instances.")
@@ -1113,7 +1114,7 @@ let check_cmd =
     Arg.(
       value & opt string "ci-smoke"
       & info [ "builtin" ] ~docv:"NAME"
-          ~doc:"Built-in spec: ci-smoke, thm11-scaling or table1-measured.")
+          ~doc:"Built-in spec: ci-smoke, thm11-scaling, table1-measured or ecc-scaling.")
   in
   let store_arg =
     Arg.(
@@ -1429,7 +1430,7 @@ let client_cmd =
     Arg.(
       value & opt string "ci-smoke"
       & info [ "builtin" ] ~docv:"NAME"
-          ~doc:"Built-in spec: ci-smoke, thm11-scaling or table1-measured.")
+          ~doc:"Built-in spec: ci-smoke, thm11-scaling, table1-measured or ecc-scaling.")
   in
   let deadline_arg =
     Arg.(

@@ -69,6 +69,7 @@ let () =
   let exhaustive =
     Dqo.Optimize.exhaustive ~values ~compare
       ~cost:{ Dqo.Cost.setup_rounds = 120; eval_rounds = 40 }
+      ()
   in
   Printf.printf "   classical exhaustive would cost %d rounds (every element evaluated)\n"
     (Dqo.Cost.total_rounds exhaustive.Dqo.Optimize.ledger);

@@ -30,18 +30,24 @@ let run g ~rng ?(delta = 0.1) ?(c = 3.0) ~objective () =
   in
   let values = Array.init groups group_value in
   let exact = Array.fold_left opt worst values in
-  let weights = Array.make groups 1.0 in
-  let rho = 1.0 /. float_of_int groups in
-  let zero = { Dqo.Cost.setup_rounds = 0; eval_rounds = 0 } in
-  let report =
-    match objective with
-    | Max -> Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho ~delta ~c ~cost:zero ()
-    | Min -> Dqo.Optimize.minimize ~rng ~weights ~values ~compare ~rho ~delta ~c ~cost:zero ()
-  in
-  (* Real pipelined-BFS runs for the measured groups. *)
-  let t_eval_bound =
-    List.fold_left
-      (fun acc gi ->
+  (* The baseline as a (Setup, Evaluation, predicate) triple: Setup is
+     the uniform superposition over groups plus the group-index
+     broadcast (depth+1 rounds); Evaluation runs the group's [x]
+     pipelined BFS's for real and aggregates the extremal eccentricity
+     with one convergecast. *)
+  let triple =
+    Dqo.Framework.make
+      ~name:(match objective with Max -> "lm-diameter" | Min -> "lm-radius")
+      ~direction:(match objective with Max -> Dqo.Optimize.Maximize | Min -> Dqo.Optimize.Minimize)
+      ~compare
+      ~setup:(fun () ->
+        {
+          Dqo.Framework.weights = Array.make groups 1.0;
+          values;
+          rho = 1.0 /. float_of_int groups;
+          init_rounds = tree_trace.Congest.Engine.rounds;
+        })
+      ~evaluate:(fun gi ->
         let out = All_pairs.run topo ~sources:(group_members gi) in
         (* The group's extremal eccentricity would be aggregated by one
            extra convergecast. *)
@@ -51,27 +57,23 @@ let run g ~rng ?(delta = 0.1) ?(c = 3.0) ~objective () =
             ~combine:max
             ~size_words:(fun _ -> 1)
         in
-        max acc (out.All_pairs.trace.Congest.Engine.rounds + cc.Congest.Engine.rounds))
-      0 report.Dqo.Optimize.touched
+        Some (out.All_pairs.trace.Congest.Engine.rounds + cc.Congest.Engine.rounds))
+      ~eval_rounds:(fun r -> r)
+      ~setup_cost:(fun _ -> tree.Congest.Tree.depth + 1)
+      ()
   in
-  let ledger = report.Dqo.Optimize.ledger in
-  let t_setup = tree.Congest.Tree.depth + 1 in
-  let per_call = t_setup + t_eval_bound in
-  let rounds =
-    tree_trace.Congest.Engine.rounds
-    + (ledger.Dqo.Cost.grover_iterations * 2 * per_call)
-    + (ledger.Dqo.Cost.measurements * per_call)
-  in
+  let outcome = Dqo.Framework.run ~rng ~delta ~c triple in
+  let ledger = outcome.Dqo.Framework.ledger in
   {
-    value = report.Dqo.Optimize.best_value;
+    value = outcome.Dqo.Framework.best_value;
     exact;
-    correct = report.Dqo.Optimize.best_value = exact;
-    rounds;
+    correct = outcome.Dqo.Framework.best_value = exact;
+    rounds = outcome.Dqo.Framework.rounds;
     group_size = x;
     groups;
     outer_iterations = ledger.Dqo.Cost.grover_iterations;
     outer_measurements = ledger.Dqo.Cost.measurements;
-    t_eval_bound;
+    t_eval_bound = outcome.Dqo.Framework.t_eval_bound;
   }
 
 let diameter g ~rng ?delta ?c () = run g ~rng ?delta ?c ~objective:Max ()

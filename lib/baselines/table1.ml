@@ -1,4 +1,4 @@
-type problem = Diameter | Radius
+type problem = Diameter | Radius | Eccentricities | Apsp
 
 type approx =
   | Exact
@@ -97,6 +97,13 @@ let rows =
       ~clb:(linear "[2]") ~qlb:this_work_lb ~tw:true;
     mk Radius true Two ~cub:(sqrt_n_d14_plus_d "[8]") ~qub:(sqrt_n_d14_plus_d "[8]") ~clb:None
       ~qlb:None ~tw:false;
+    (* Follow-up rows from Wang–Wu–Yao (arXiv 2206.02766): all
+       eccentricities get the √(nD) quantum speedup, weighted APSP
+       provably does not. *)
+    mk Eccentricities false Exact ~cub:(linear "[17,22]") ~qub:(sqrt_nd "[WWY22]")
+      ~clb:(linear "[11]") ~qlb:(sqrt_n_plus_d "[WWY22]") ~tw:false;
+    mk Apsp true Exact ~cub:(linear "[6]") ~qub:(linear "[WWY22]") ~clb:(linear "[WWY22]")
+      ~qlb:(linear "[WWY22]") ~tw:false;
   ]
 
 let approx_to_string = function
@@ -107,7 +114,11 @@ let approx_to_string = function
   | Below_two -> "2-eps"
   | Two -> "2"
 
-let problem_to_string = function Diameter -> "diameter" | Radius -> "radius"
+let problem_to_string = function
+  | Diameter -> "diameter"
+  | Radius -> "radius"
+  | Eccentricities -> "eccentricities"
+  | Apsp -> "apsp"
 
 let crossover_d ~n = float_of_int n ** (1. /. 3.)
 

@@ -7,7 +7,9 @@
     the table at chosen [(n, D)] points and overlays measured values
     for the rows this repository implements. *)
 
-type problem = Diameter | Radius
+type problem = Diameter | Radius | Eccentricities | Apsp
+(** [Eccentricities] and [Apsp] are the Wang–Wu–Yao (arXiv 2206.02766)
+    follow-up rows appended after the paper's original 13. *)
 
 type approx =
   | Exact
@@ -35,7 +37,8 @@ type row = {
 }
 
 val rows : row list
-(** All 13 rows of Table 1, in the paper's order. *)
+(** All 13 rows of Table 1 in the paper's order, followed by the two
+    Wang–Wu–Yao rows (eccentricities, APSP). *)
 
 val approx_to_string : approx -> string
 val problem_to_string : problem -> string

@@ -13,7 +13,8 @@ type config = {
 let default =
   { seed = 42; n = 48; trials = 200; h = 2; shards = 3; negative_control = false; only = [] }
 
-let certifier_names = [ "congest"; "sharded"; "approx"; "gadget"; "determinism"; "amplify" ]
+let certifier_names =
+  [ "congest"; "sharded"; "approx"; "gadget"; "determinism"; "amplify"; "ecc"; "apsp" ]
 
 (* The same ring-of-cliques family the CI sweep runs on: weighted,
    connected, with a diameter the quantum pipeline actually has to
@@ -59,6 +60,16 @@ let approx cfg =
     Approx_audit.three_halves ~tamper g ~rng:(rng 3);
   ]
 
+let ecc cfg =
+  let g = instance cfg in
+  let tamper = if cfg.negative_control then 10.0 else 1.0 in
+  [ Wwy_audit.ecc ~tamper g ~rng:(Util.Rng.create ~seed:(cfg.seed + 4)) ]
+
+let apsp cfg =
+  let g = instance cfg in
+  let tamper = if cfg.negative_control then 10.0 else 1.0 in
+  [ Wwy_audit.apsp ~tamper g ~rng:(Util.Rng.create ~seed:(cfg.seed + 5)) ]
+
 let gadget cfg =
   [ Gadget_audit.certify ~h:cfg.h ~flip_f:cfg.negative_control ~seed:cfg.seed () ]
 
@@ -87,6 +98,8 @@ let run cfg =
       ("gadget", gadget);
       ("determinism", determinism);
       ("amplify", amplify);
+      ("ecc", ecc);
+      ("apsp", apsp);
     ]
   in
   let certificates =

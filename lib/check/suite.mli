@@ -13,7 +13,12 @@
     - ["gadget"] — {!Gadget_audit} on both Section 4 variants;
     - ["determinism"] — {!Determinism_audit} on the instance graph;
     - ["amplify"] — {!Amplify_audit} (the certifier whose [trials < 30]
-      path is the suite's deliberate Inconclusive outcome).
+      path is the suite's deliberate Inconclusive outcome);
+    - ["ecc"] — {!Wwy_audit.ecc}: per-node eccentricities and the
+      re-derived diameter/radius bracket vs the BFS oracle;
+    - ["apsp"] — {!Wwy_audit.apsp}: the token-flood distance matrix,
+      the farthest-pair diameter, and the round-accounting split vs
+      the Dijkstra oracle.
 
     [negative_control] arms every selected certifier's own sabotage
     path (injected non-edge message, tampered estimate, negated [F],

@@ -14,8 +14,9 @@ let exact_of ~oracle (j : Spec.job) g =
     Graphlib.Dist.to_int_exn (Oracle.weighted_diameter oracle g)
   | Spec.Thm11_radius | Spec.Classical_radius ->
     Graphlib.Dist.to_int_exn (Oracle.weighted_radius oracle g)
-  | Spec.Lm_unweighted | Spec.Three_halves ->
+  | Spec.Lm_unweighted | Spec.Three_halves | Spec.Wwy_ecc ->
     Graphlib.Dist.to_int_exn (Oracle.hop_diameter oracle g)
+  | Spec.Wwy_apsp -> Graphlib.Dist.to_int_exn (Oracle.weighted_diameter oracle g)
   | Spec.Bfs_reliable -> (fst (Congest.Tree.build g ~root:0)).Congest.Tree.depth
 
 let default_graph_of_job (spec : Spec.t) (j : Spec.job) =

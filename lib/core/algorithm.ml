@@ -143,97 +143,92 @@ let run_objective shared objective ~rng =
         (Inner.search prep ~objective:inner_obj ~delta:(config.delta /. 2.0) ~c:config.c
            ~rng:ctx.Nanongkai.Approx.rng)
   in
-  let values =
-    match config.mode with
-    | Fully_distributed ->
-      Array.init m (fun i ->
-          match eval_dist i with
-          | Some e -> e.Inner.value
-          | None -> Inner.worst_value inner_obj)
-    | Distributed_touched | Centralized_calibrated ->
-      Array.init m (fun i ->
-          match
-            Inner.eval_centralized g ~params:rw ~k:params.Params.k ~objective:inner_obj
-              ~s:sets.Sets.sets.(i)
-          with
-          | Some v -> v
-          | None -> Inner.worst_value inner_obj)
+  (* The Theorem 1.1 outer search as a (Setup, Evaluation, predicate)
+     triple. Setup: sample-set superposition with the Good-Scale
+     promise mass ρ = Θ(r/n) and the per-call index broadcast.
+     Evaluation: the real Initialization + inner-search pipeline for
+     one sampled set. Predicate: maximize (diameter) or minimize
+     (radius) the approximate extremal eccentricity. *)
+  let model_values = ref [||] in
+  let setup () =
+    let values =
+      match config.mode with
+      | Fully_distributed ->
+        Array.init m (fun i ->
+            match eval_dist i with
+            | Some e -> e.Inner.value
+            | None -> Inner.worst_value inner_obj)
+      | Distributed_touched | Centralized_calibrated ->
+        Array.init m (fun i ->
+            match
+              Inner.eval_centralized g ~params:rw ~k:params.Params.k ~objective:inner_obj
+                ~s:sets.Sets.sets.(i)
+            with
+            | Some v -> v
+            | None -> Inner.worst_value inner_obj)
+    in
+    model_values := values;
+    {
+      Dqo.Framework.weights = Array.make m 1.0;
+      values;
+      rho = Float.max (sets.Sets.rate /. 2.0) (1.0 /. float_of_int m);
+      init_rounds = tree_trace.Congest.Engine.rounds;
+    }
   in
-  (* Outer quantum search (Lemma 3.1): uniform amplitudes over sets,
-     promise mass ρ = Θ(r/n) from Good-Scale. *)
-  let rho = Float.max (sets.Sets.rate /. 2.0) (1.0 /. float_of_int m) in
-  let weights = Array.make m 1.0 in
-  let zero_cost = { Dqo.Cost.setup_rounds = 0; eval_rounds = 0 } in
-  let report =
-    match objective with
-    | Diameter ->
-      Dqo.Optimize.maximize ~rng ~weights ~values ~compare ~rho ~delta:(config.delta /. 2.0)
-        ~c:config.c ~cost:zero_cost ()
-    | Radius ->
-      Dqo.Optimize.minimize ~rng ~weights ~values ~compare ~rho ~delta:(config.delta /. 2.0)
-        ~c:config.c ~cost:zero_cost ()
+  (* Measured Setup / answer broadcast: the index |i⟩ (resp. the final
+     estimate) down the BFS tree. *)
+  let broadcast_rounds i =
+    let _, trace =
+      Congest.Tree.broadcast_tokens g tree ~tokens:[ i ] ~size_words:(fun _ -> 1)
+    in
+    trace.Congest.Engine.rounds
   in
-  (* Measured outer Setup: broadcasting the index |i⟩ to all nodes. *)
-  let _, setup_trace =
-    Congest.Tree.broadcast_tokens g tree ~tokens:[ report.Dqo.Optimize.best_idx ]
-      ~size_words:(fun _ -> 1)
-  in
-  let t_setup_outer = setup_trace.Congest.Engine.rounds in
-  (* Real pipeline runs for the candidates the search measured. *)
-  let calibration_targets =
+  let calibrate touched =
     match config.mode with
     | Fully_distributed | Distributed_touched ->
-      List.filter (fun i -> sets.Sets.sets.(i) <> []) report.Dqo.Optimize.touched
+      List.filter (fun i -> sets.Sets.sets.(i) <> []) touched
     | Centralized_calibrated -> (
-      match List.filter (fun i -> sets.Sets.sets.(i) <> []) report.Dqo.Optimize.touched with
+      match List.filter (fun i -> sets.Sets.sets.(i) <> []) touched with
       | [] -> []
       | i :: _ -> [ i ])
   in
-  let measured =
-    List.filter_map
-      (fun i ->
-        match eval_dist i with
-        | Some e ->
-          discrepancy := Float.max !discrepancy (Float.abs (e.Inner.value -. values.(i)));
-          Some e
-        | None -> None)
-      calibration_targets
+  let evaluate i =
+    match eval_dist i with
+    | Some e ->
+      discrepancy := Float.max !discrepancy (Float.abs (e.Inner.value -. !model_values.(i)));
+      Some e
+    | None -> None
   in
-  let t_eval_bound =
-    List.fold_left (fun acc (e : Inner.eval) -> max acc e.Inner.total_rounds) 0 measured
+  let triple =
+    Dqo.Framework.make
+      ~name:("thm11-" ^ match objective with Diameter -> "diameter" | Radius -> "radius")
+      ~direction:
+        (match objective with Diameter -> Dqo.Optimize.Maximize | Radius -> Dqo.Optimize.Minimize)
+      ~compare ~setup ~evaluate
+      ~eval_rounds:(fun (e : Inner.eval) -> e.Inner.total_rounds)
+      ~setup_cost:broadcast_rounds ~calibrate ~finalize:broadcast_rounds ()
   in
+  let outcome = Dqo.Framework.run ~rng ~delta:(config.delta /. 2.0) ~c:config.c triple in
+  let t_setup_outer = outcome.Dqo.Framework.t_setup in
+  let t_eval_bound = outcome.Dqo.Framework.t_eval_bound in
+  let measured = List.map snd outcome.Dqo.Framework.evals in
   let inner_iterations_total =
     List.fold_left (fun acc (e : Inner.eval) -> acc + e.Inner.inner_iterations) 0 measured
   in
   let congestion_ok = List.for_all (fun (e : Inner.eval) -> e.Inner.congestion_ok) measured in
-  let ledger = report.Dqo.Optimize.ledger in
-  let outer_cost = { Dqo.Cost.setup_rounds = t_setup_outer; eval_rounds = t_eval_bound } in
-  let search_rounds =
-    (ledger.Dqo.Cost.grover_iterations * 2
-     * (outer_cost.Dqo.Cost.setup_rounds + outer_cost.Dqo.Cost.eval_rounds))
-    + (ledger.Dqo.Cost.measurements
-       * (outer_cost.Dqo.Cost.setup_rounds + outer_cost.Dqo.Cost.eval_rounds))
-  in
-  (* The model requires every node to output the answer: the leader
-     broadcasts the final estimate down the tree (O(D) rounds,
-     measured). *)
-  let _, answer_trace =
-    Congest.Tree.broadcast_tokens g tree ~tokens:[ report.Dqo.Optimize.best_idx ]
-      ~size_words:(fun _ -> 1)
-  in
-  let rounds =
-    tree_trace.Congest.Engine.rounds + search_rounds + answer_trace.Congest.Engine.rounds
-  in
+  let ledger = outcome.Dqo.Framework.ledger in
+  let search_rounds = ledger.Dqo.Cost.search_rounds in
+  let rounds = outcome.Dqo.Framework.rounds in
   let breakdown =
     [
       ("bfs-tree", tree_trace.Congest.Engine.rounds);
       ("outer-setup-per-call", t_setup_outer);
       ("eval-bound-per-call (T0+√r(T1+T2))", t_eval_bound);
       ("outer-search", search_rounds);
-      ("answer-broadcast", answer_trace.Congest.Engine.rounds);
+      ("answer-broadcast", outcome.Dqo.Framework.answer_rounds);
     ]
   in
-  let estimate = report.Dqo.Optimize.best_value in
+  let estimate = outcome.Dqo.Framework.best_value in
   let vstar = extremal_node g objective in
   let scale = Sets.check_good_scale sets ~vstar in
   let within_guarantee =
@@ -242,7 +237,7 @@ let run_objective shared objective ~rng =
     estimate >= ex -. 1e-6 && estimate <= ub +. 1e-6
   in
   let best_source =
-    match eval_dist report.Dqo.Optimize.best_idx with
+    match eval_dist outcome.Dqo.Framework.best_idx with
     | Some e -> Some e.Inner.best_s
     | None -> None
     | exception _ -> None
@@ -262,11 +257,11 @@ let run_objective shared objective ~rng =
     inner_iterations_total;
     t_setup_outer;
     t_eval_bound;
-    touched_sets = report.Dqo.Optimize.touched;
+    touched_sets = outcome.Dqo.Framework.touched;
     good_scale = scale.Sets.ok;
     congestion_ok;
     value_discrepancy = !discrepancy;
-    best_set = report.Dqo.Optimize.best_idx;
+    best_set = outcome.Dqo.Framework.best_idx;
     best_source;
   }
 

@@ -1,3 +1,5 @@
+type direction = Maximize | Minimize
+
 type 'v report = {
   best_idx : int;
   best_value : 'v;
@@ -11,14 +13,27 @@ let budget_for ~rho ~delta ~c =
   if delta <= 0.0 || delta >= 1.0 then invalid_arg "Optimize.budget_for: delta";
   int_of_float (ceil (c *. sqrt (log (exp 1.0 /. delta) /. rho)))
 
+let better_of ~direction ~compare =
+  match direction with
+  | Maximize -> fun a b -> compare a b > 0
+  | Minimize -> fun a b -> compare a b < 0
+
 let optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better =
   let n = Array.length values in
   if Array.length weights <> n then invalid_arg "Optimize: weights/values length mismatch";
   if n = 0 then invalid_arg "Optimize: empty space";
   let space = Amplify.create weights in
   let budget = budget_for ~rho ~delta ~c in
+  (* First-touch order with O(1) dedup: the table answers membership,
+     the list records order (reversed at the end). *)
+  let seen = Hashtbl.create 16 in
   let touched = ref [] in
-  let touch x = if not (List.mem x !touched) then touched := x :: !touched in
+  let touch x =
+    if not (Hashtbl.mem seen x) then begin
+      Hashtbl.replace seen x ();
+      touched := x :: !touched
+    end
+  in
   (* Opening move: measure the bare superposition and evaluate it. *)
   let start = Amplify.sample space ~rng in
   touch start;
@@ -26,7 +41,8 @@ let optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better =
   let rec loop best ledger m iterations_used meas_used =
     (* The measurement cap breaks the j=0 stall when the marked set is
        already empty (best is optimal) and the iteration budget cannot
-       be consumed. *)
+       be consumed. [meas_used] equals [ledger.measurements] at every
+       entry, so the cap and the ledger agree on what was spent. *)
     if iterations_used >= budget || meas_used > (2 * budget) + 10 then (best, ledger)
     else begin
       let marked x = better values.(x) values.(best) in
@@ -41,23 +57,33 @@ let optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better =
       else loop best ledger (Float.min (growth *. m) cap) (iterations_used + j) (meas_used + 1)
     end
   in
-  let best, ledger = loop start ledger 1.0 0 0 in
+  (* The opening measurement was already charged to the ledger, so it
+     counts against the cap too: start the counter at 1, not 0. *)
+  let best, ledger = loop start ledger 1.0 0 1 in
   { best_idx = best; best_value = values.(best); ledger; touched = List.rev !touched; budget }
 
 let maximize ~rng ~weights ~values ~compare ~rho ~delta ?(c = 3.0) ?(growth = 1.2) ~cost () =
-  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better:(fun a b -> compare a b > 0)
+  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost
+    ~better:(better_of ~direction:Maximize ~compare)
 
 let minimize ~rng ~weights ~values ~compare ~rho ~delta ?(c = 3.0) ?(growth = 1.2) ~cost () =
-  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost ~better:(fun a b -> compare a b < 0)
+  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost
+    ~better:(better_of ~direction:Minimize ~compare)
 
-let exhaustive ~values ~compare ~cost =
+let search ~direction ~rng ~weights ~values ~compare ~rho ~delta ?(c = 3.0) ?(growth = 1.2)
+    ~cost () =
+  optimize ~rng ~weights ~values ~rho ~delta ~c ~growth ~cost
+    ~better:(better_of ~direction ~compare)
+
+let exhaustive ?(direction = Maximize) ~values ~compare ~cost () =
   let n = Array.length values in
   if n = 0 then invalid_arg "Optimize.exhaustive: empty space";
+  let better = better_of ~direction ~compare in
   let best = ref 0 in
   let ledger = ref Cost.empty in
   for x = 0 to n - 1 do
     ledger := Cost.charge_measurement !ledger cost;
-    if compare values.(x) values.(!best) > 0 then best := x
+    if better values.(x) values.(!best) then best := x
   done;
   {
     best_idx = !best;
@@ -66,3 +92,6 @@ let exhaustive ~values ~compare ~cost =
     touched = List.init n (fun i -> i);
     budget = n;
   }
+
+let exhaustive_min ~values ~compare ~cost =
+  exhaustive ~direction:Minimize ~values ~compare ~cost ()

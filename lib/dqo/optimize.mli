@@ -5,17 +5,22 @@
     finds such an element with probability [1-δ] in
     [T₀ + O(√(log(1/δ)/ρ))·T] rounds.
 
-    The search is Dürr–Høyer-style maximum finding: keep the best
-    value seen; repeatedly amplify the set [{x : f(x) > best}] with a
-    BBHT iteration schedule; measure, re-evaluate classically, update.
-    Once the iteration budget [⌈c·√(ln(e/δ)/ρ)⌉] is spent, the best
-    element exceeds [M] with probability at least [1-δ].
+    The search is Dürr–Høyer-style extremum finding: keep the best
+    value seen; repeatedly amplify the set [{x : f(x) better-than best}]
+    with a BBHT iteration schedule; measure, re-evaluate classically,
+    update. Once the iteration budget [⌈c·√(ln(e/δ)/ρ)⌉] is spent, the
+    best element exceeds [M] with probability at least [1-δ].
 
     Values are supplied as a precomputed array: the simulation needs
     them all to compute marked masses exactly. The report lists the
     candidates the algorithm actually measured, so callers that want
     per-candidate *measured* distributed costs can re-run the real
     pipeline on exactly those (this is what [lib/core] does). *)
+
+type direction = Maximize | Minimize
+(** The optimization sense of a search, shared by the amplified search
+    and its classical [exhaustive] reference (the [Dqo.Framework]
+    triple interface carries one of these per pluggable algorithm). *)
 
 type 'v report = {
   best_idx : int;
@@ -60,7 +65,35 @@ val minimize :
   unit ->
   'v report
 
+val search :
+  direction:direction ->
+  rng:Util.Rng.t ->
+  weights:float array ->
+  values:'v array ->
+  compare:('v -> 'v -> int) ->
+  rho:float ->
+  delta:float ->
+  ?c:float ->
+  ?growth:float ->
+  cost:Cost.per_call ->
+  unit ->
+  'v report
+(** [maximize]/[minimize] with the sense as a value — the entry point
+    the pluggable framework uses. [search ~direction:Maximize] is
+    [maximize]; [search ~direction:Minimize] is [minimize]. *)
+
 val exhaustive :
-  values:'v array -> compare:('v -> 'v -> int) -> cost:Cost.per_call -> 'v report
+  ?direction:direction ->
+  values:'v array ->
+  compare:('v -> 'v -> int) ->
+  cost:Cost.per_call ->
+  unit ->
+  'v report
 (** The classical baseline: evaluate everything;
-    [N × (setup + eval)] rounds. ([minimize] analog: flip [compare].) *)
+    [N × (setup + eval)] rounds. [direction] (default [Maximize])
+    selects the sense — minimize-style callers must pass [Minimize]
+    (or use [exhaustive_min]) rather than flipping [compare]. *)
+
+val exhaustive_min :
+  values:'v array -> compare:('v -> 'v -> int) -> cost:Cost.per_call -> 'v report
+(** [exhaustive ~direction:Minimize]. *)

@@ -216,6 +216,30 @@ let run_job ?(attempt = 1) ?deadline_s (spec : Spec.t) (j : Spec.job) =
             within = r.Baselines.Sssp_approx.within_factor_two;
             note = Printf.sprintf "sweeps=%d" r.Baselines.Sssp_approx.sweeps;
           }
+        | Spec.Wwy_ecc ->
+          let r = Baselines.Wwy_ecc.max_eccentricity g ~rng () in
+          {
+            rounds = r.Baselines.Wwy_ecc.rounds;
+            messages = 0;
+            estimate = float_of_int r.Baselines.Wwy_ecc.extremal;
+            exact = r.Baselines.Wwy_ecc.exact;
+            within = r.Baselines.Wwy_ecc.correct && r.Baselines.Wwy_ecc.ecc_ok;
+            note =
+              Printf.sprintf "groups=%d x=%d cov=%d" r.Baselines.Wwy_ecc.groups
+                r.Baselines.Wwy_ecc.group_size r.Baselines.Wwy_ecc.coverage;
+          }
+        | Spec.Wwy_apsp ->
+          let r = Baselines.Wwy_apsp.run g ~rng () in
+          {
+            rounds = r.Baselines.Wwy_apsp.rounds;
+            messages = 0;
+            estimate = float_of_int r.Baselines.Wwy_apsp.diameter_estimate;
+            exact = r.Baselines.Wwy_apsp.exact;
+            within = r.Baselines.Wwy_apsp.correct && r.Baselines.Wwy_apsp.dist_ok;
+            note =
+              Printf.sprintf "apsp=%d search=%d" r.Baselines.Wwy_apsp.apsp_rounds
+                r.Baselines.Wwy_apsp.search_rounds;
+          }
         | Spec.Bfs_reliable ->
           let f = spec.Spec.faults in
           let faults =

@@ -23,6 +23,12 @@ type algo =
       (** BFS-tree construction under the spec's fault profile with
           the reliable-delivery wrapper (the only algorithm the fault
           profile perturbs; the others always run fault-free). *)
+  | Wwy_ecc
+      (** Wang–Wu–Yao quantum eccentricities ([Õ(√(nD))] rounds,
+          unweighted). *)
+  | Wwy_apsp
+      (** Wang–Wu–Yao weighted APSP + farthest-pair search
+          ([Θ̃(n)] rounds, no quantum speedup). *)
 
 val algo_name : algo -> string
 (** Stable kebab-case name, e.g. ["thm11-diameter"] — used in JSON,
@@ -125,3 +131,11 @@ val thm11_scaling : t
 
 val table1_measured : t
 (** One instance, every implemented Table 1 row. *)
+
+val ecc_scaling : t
+(** Wang–Wu–Yao eccentricities vs APSP on the ring family as measured
+    log-log exponents, with gates calibrated at these sizes (see the
+    calibration comment in the implementation: at smoke sizes the
+    APSP series' search term still rivals the pipelined flood, so its
+    measured exponent is sublinear; the [Θ̃(n)] claim at scale is the
+    certifier's business). *)

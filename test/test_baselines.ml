@@ -75,6 +75,32 @@ let test_lm_diameter_correct () =
   done;
   checkb "mostly correct" true (!ok >= 8)
 
+let test_lm_port_goldens () =
+  (* Bit-identity pins for the Dqo.Framework port of the
+     Le Gall-Magniez baseline, captured from the pre-framework
+     implementation on the ci-smoke harness instance. *)
+  let open Baselines.Legall_magniez in
+  let golden seed ~drounds ~dom ~rrounds =
+    let g = Harness.Runner.make_graph Harness.Spec.ci_smoke ~n:48 ~seed in
+    let d = diameter g ~rng:(Util.Rng.create ~seed:(seed * 77)) () in
+    check "D value" 9 d.value;
+    check "D exact" 9 d.exact;
+    checkb "D correct" true d.correct;
+    check "D rounds" drounds d.rounds;
+    check "D group size" 16 d.group_size;
+    check "D groups" 3 d.groups;
+    check "D outer iterations" 10 d.outer_iterations;
+    check "D outer measurements" dom d.outer_measurements;
+    check "D eval bound" 32 d.t_eval_bound;
+    let r = radius g ~rng:(Util.Rng.create ~seed:(seed * 78)) () in
+    check "R value" 8 r.value;
+    check "R exact" 8 r.exact;
+    checkb "R correct" true r.correct;
+    check "R rounds" rrounds r.rounds
+  in
+  golden 1 ~drounds:1624 ~dom:19 ~rrounds:1952;
+  golden 3 ~drounds:1747 ~dom:22 ~rrounds:1747
+
 let test_lm_radius_correct () =
   let rng = Util.Rng.create ~seed:7 in
   let g = Graphlib.Gen.grid ~rows:5 ~cols:5 ~weighting:Graphlib.Gen.Unit ~rng in
@@ -95,6 +121,66 @@ let test_lm_weights_ignored () =
   let r = Baselines.Legall_magniez.diameter g ~rng () in
   check "unweighted exact" (Graphlib.Dist.to_int_exn (Graphlib.Bfs.diameter g))
     r.Baselines.Legall_magniez.exact
+
+(* ----------------------- Wang–Wu–Yao (2206.02766) ------------------ *)
+
+let test_wwy_ecc_measured_match_oracle () =
+  let rng = Util.Rng.create ~seed:12 in
+  let g =
+    Graphlib.Gen.cliques_cycle ~cliques:8 ~clique_size:4
+      ~weighting:(Graphlib.Gen.Uniform { max_w = 30 })
+      ~rng
+  in
+  let ok = ref 0 in
+  for _ = 1 to 8 do
+    let r = Baselines.Wwy_ecc.max_eccentricity g ~rng () in
+    checkb "every measured ecc equals BFS" true r.Baselines.Wwy_ecc.ecc_ok;
+    checkb "coverage positive" true (r.Baselines.Wwy_ecc.coverage > 0);
+    check "exact = hop diameter (weights ignored)"
+      (Graphlib.Dist.to_int_exn (Graphlib.Bfs.diameter g))
+      r.Baselines.Wwy_ecc.exact;
+    if r.Baselines.Wwy_ecc.correct then incr ok
+  done;
+  checkb "agreement with exhaustive reference >= 1-delta" true (!ok >= 6)
+
+let test_wwy_ecc_bracket () =
+  let rng = Util.Rng.create ~seed:14 in
+  let g = Graphlib.Gen.grid ~rows:5 ~cols:5 ~weighting:Graphlib.Gen.Unit ~rng in
+  let rmax = Baselines.Wwy_ecc.max_eccentricity g ~rng () in
+  let rmin = Baselines.Wwy_ecc.min_eccentricity g ~rng () in
+  check "min exact = hop radius"
+    (Graphlib.Dist.to_int_exn (Graphlib.Bfs.radius g))
+    rmin.Baselines.Wwy_ecc.exact;
+  checkb "R <= D <= 2R" true
+    (rmin.Baselines.Wwy_ecc.exact <= rmax.Baselines.Wwy_ecc.exact
+    && rmax.Baselines.Wwy_ecc.exact <= 2 * rmin.Baselines.Wwy_ecc.exact);
+  checkb "groups cover" true
+    (rmax.Baselines.Wwy_ecc.groups * rmax.Baselines.Wwy_ecc.group_size
+    >= Graphlib.Wgraph.n g)
+
+let test_wwy_apsp_exact_and_conserved () =
+  let rng = Util.Rng.create ~seed:16 in
+  let g =
+    Graphlib.Gen.cliques_cycle ~cliques:6 ~clique_size:4
+      ~weighting:(Graphlib.Gen.Uniform { max_w = 9 })
+      ~rng
+  in
+  let ok = ref 0 in
+  for _ = 1 to 6 do
+    let r = Baselines.Wwy_apsp.run g ~rng () in
+    checkb "flood matrix = Dijkstra" true r.Baselines.Wwy_apsp.dist_ok;
+    check "exact = weighted diameter"
+      (Graphlib.Dist.to_int_exn (Graphlib.Apsp.weighted_diameter g))
+      r.Baselines.Wwy_apsp.exact;
+    checkb "flood measured" true (r.Baselines.Wwy_apsp.apsp_rounds > 0);
+    (* rounds = (tree + flood) + search + answer, so the total strictly
+       contains the flood + search split. *)
+    checkb "rounds contain flood + search" true
+      (r.Baselines.Wwy_apsp.rounds
+      > r.Baselines.Wwy_apsp.apsp_rounds + r.Baselines.Wwy_apsp.search_rounds);
+    if r.Baselines.Wwy_apsp.correct then incr ok
+  done;
+  checkb "agreement with exhaustive reference >= 1-delta" true (!ok >= 4)
 
 (* --------------------------- SSSP 2-approx ------------------------- *)
 
@@ -213,7 +299,17 @@ let test_three_halves_rounds () =
 (* ------------------------------ Table 1 ---------------------------- *)
 
 let test_table1_shape () =
-  check "13 rows" 13 (List.length Baselines.Table1.rows);
+  check "13 paper rows + 2 WWY rows" 15 (List.length Baselines.Table1.rows);
+  check "WWY ecc row" 1
+    (List.length
+       (List.filter
+          (fun r -> r.Baselines.Table1.problem = Baselines.Table1.Eccentricities)
+          Baselines.Table1.rows));
+  check "WWY apsp row" 1
+    (List.length
+       (List.filter
+          (fun r -> r.Baselines.Table1.problem = Baselines.Table1.Apsp)
+          Baselines.Table1.rows));
   let this_work =
     List.filter (fun r -> r.Baselines.Table1.this_work) Baselines.Table1.rows
   in
@@ -302,6 +398,13 @@ let () =
           Alcotest.test_case "diameter correct" `Quick test_lm_diameter_correct;
           Alcotest.test_case "radius correct" `Quick test_lm_radius_correct;
           Alcotest.test_case "weights ignored" `Quick test_lm_weights_ignored;
+          Alcotest.test_case "port goldens" `Quick test_lm_port_goldens;
+        ] );
+      ( "wwy",
+        [
+          Alcotest.test_case "ecc measured = oracle" `Quick test_wwy_ecc_measured_match_oracle;
+          Alcotest.test_case "ecc bracket" `Quick test_wwy_ecc_bracket;
+          Alcotest.test_case "apsp exact + conserved" `Quick test_wwy_apsp_exact_and_conserved;
         ] );
       ( "approx_apsp",
         [

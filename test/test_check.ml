@@ -352,7 +352,7 @@ let test_suite_selection () =
   Alcotest.check_raises "unknown certifier"
     (Invalid_argument
        "Check.Suite.run: unknown certifier \"bogus\" (expected one of congest, sharded, \
-        approx, gadget, determinism, amplify)")
+        approx, gadget, determinism, amplify, ecc, apsp)")
     (fun () ->
       ignore (Check.Suite.run { Check.Suite.default with Check.Suite.only = [ "bogus" ] }));
   Alcotest.check_raises "invalid shard count"

@@ -216,6 +216,60 @@ let test_algorithm_breakdown () =
   checkb "has tree phase" true (List.mem "bfs-tree" total_named);
   checkb "touched non-empty" true (r.Core.Algorithm.touched_sets <> [])
 
+let test_algorithm_ledger_conservation () =
+  (* The Framework invariant on the Theorem 1.1 instance: the charged
+     search rounds follow exactly from the outer counters and the
+     measured per-call costs, and the total is the breakdown's sum. *)
+  let g = family 22 in
+  let r = run_algorithm 23 Core.Algorithm.Diameter g in
+  let part name = List.assoc name r.Core.Algorithm.breakdown in
+  let per = r.Core.Algorithm.t_setup_outer + r.Core.Algorithm.t_eval_bound in
+  check "search = iterations*2*per + measurements*per"
+    ((r.Core.Algorithm.outer_iterations * 2 * per)
+    + (r.Core.Algorithm.outer_measurements * per))
+    (part "outer-search");
+  check "rounds = tree + search + answer"
+    (part "bfs-tree" + part "outer-search" + part "answer-broadcast")
+    r.Core.Algorithm.rounds
+
+let test_algorithm_port_goldens () =
+  (* Bit-identity pins for the Dqo.Framework port: these exact values
+     were captured from the pre-framework implementation on the
+     ci-smoke harness instance. Any drift in RNG stream consumption,
+     operation order, touched-index bookkeeping or round accounting
+     shows up here before anywhere else. *)
+  let open Core.Algorithm in
+  let g = Harness.Runner.make_graph Harness.Spec.ci_smoke ~n:48 ~seed:1 in
+  let d = run g Diameter ~rng:(Util.Rng.create ~seed:1005) in
+  Alcotest.(check (float 1e-9)) "D estimate" 85.0 d.estimate;
+  check "D exact" 84 d.exact;
+  check "D rounds" 37_805_262 d.rounds;
+  check "D outer iterations" 36 d.outer_iterations;
+  check "D outer measurements" 27 d.outer_measurements;
+  check "D inner iterations" 211 d.inner_iterations_total;
+  check "D setup cost" 8 d.t_setup_outer;
+  check "D eval bound" 381_863 d.t_eval_bound;
+  check "D best set" 39 d.best_set;
+  Alcotest.(check (list int)) "D touched order"
+    [ 33; 13; 42; 6; 44; 30; 26; 43; 46; 39; 1; 8; 40; 37; 18; 21; 28; 22; 9; 35; 27 ]
+    d.touched_sets;
+  let r = run g Radius ~rng:(Util.Rng.create ~seed:1006) in
+  Alcotest.(check (float 1e-9)) "R estimate" 69.0 r.estimate;
+  check "R exact" 69 r.exact;
+  check "R rounds" 59_926_443 r.rounds;
+  check "R outer iterations" 36 r.outer_iterations;
+  check "R outer measurements" 22 r.outer_measurements;
+  check "R inner iterations" 173 r.inner_iterations_total;
+  check "R eval bound" 637_507 r.t_eval_bound;
+  check "R best set" 35 r.best_set;
+  let g2 = Harness.Runner.make_graph Harness.Spec.ci_smoke ~n:64 ~seed:42 in
+  let d2, r2, combined = run_both g2 ~rng:(Util.Rng.create ~seed:4242) in
+  Alcotest.(check (float 1e-9)) "both D estimate" 66.0 d2.estimate;
+  check "both D rounds" 29_215_159 d2.rounds;
+  Alcotest.(check (float 1e-9)) "both R estimate" 49.0 r2.estimate;
+  check "both R rounds" 32_242_217 r2.rounds;
+  check "both combined" 61_457_351 combined
+
 let test_algorithm_rejects_bad_input () =
   let g = Graphlib.Wgraph.make ~n:3 [ { Graphlib.Wgraph.u = 0; v = 1; w = 1 } ] in
   checkb "disconnected rejected" true
@@ -293,6 +347,8 @@ let () =
           Alcotest.test_case "fully distributed" `Slow test_algorithm_fully_distributed_small;
           Alcotest.test_case "success rate" `Slow test_algorithm_success_rate;
           Alcotest.test_case "breakdown" `Quick test_algorithm_breakdown;
+          Alcotest.test_case "ledger conservation" `Quick test_algorithm_ledger_conservation;
+          Alcotest.test_case "port goldens" `Quick test_algorithm_port_goldens;
           Alcotest.test_case "rejects bad input" `Quick test_algorithm_rejects_bad_input;
           Alcotest.test_case "run_both shares work" `Quick test_run_both_shares;
         ] );

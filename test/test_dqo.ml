@@ -142,7 +142,7 @@ let test_quantum_speedup_vs_exhaustive () =
     total_iters := !total_iters + r.Dqo.Optimize.ledger.Dqo.Cost.grover_iterations
   done;
   let avg = float_of_int !total_iters /. float_of_int trials in
-  let exhaustive = Dqo.Optimize.exhaustive ~values:(Array.make n 0) ~compare ~cost in
+  let exhaustive = Dqo.Optimize.exhaustive ~values:(Array.make n 0) ~compare ~cost () in
   checkb "iterations << n" true (avg < float_of_int n /. 2.0);
   check "exhaustive touches all" n (List.length exhaustive.Dqo.Optimize.touched);
   check "exhaustive rounds" (n * 150) (Dqo.Cost.total_rounds exhaustive.Dqo.Optimize.ledger)
@@ -186,6 +186,148 @@ let test_weighted_search () =
   done;
   checkb "dominant weight wins" true (!ok >= 45)
 
+(* ------------------- accounting regressions ------------------------ *)
+
+let test_measurement_cap_matches_ledger () =
+  (* rho = 1 with all-equal values is the pure stall case: the marked
+     set is empty, every iteration draw is j = 0, and the measurement
+     cap is the only exit. The opening measurement is charged to the
+     ledger, so it must count against the cap too: the loop admits
+     exactly 2*budget+10 further measurements, for a ledger total of
+     2*budget+11. Before the fix the cap counter started at 0 while
+     the ledger already held the opening charge, admitting one extra
+     measurement (2*budget+12). *)
+  let rng = Util.Rng.create ~seed:11 in
+  let n = 8 in
+  let r =
+    Dqo.Optimize.maximize ~rng ~weights:(Array.make n 1.0) ~values:(Array.make n 0) ~compare
+      ~rho:1.0 ~delta:0.1
+      ~cost:{ Dqo.Cost.setup_rounds = 1; eval_rounds = 1 }
+      ()
+  in
+  check "stall budget" 6 r.Dqo.Optimize.budget;
+  check "stall consumes no iterations" 0 r.Dqo.Optimize.ledger.Dqo.Cost.grover_iterations;
+  check "cap and ledger agree"
+    ((2 * r.Dqo.Optimize.budget) + 11)
+    r.Dqo.Optimize.ledger.Dqo.Cost.measurements
+
+let test_touched_dedup_golden () =
+  (* Pin for the Hashtbl first-touch dedup: this exact seeded run was
+     captured under the original List.mem implementation; the O(1)
+     table must reproduce it byte for byte. *)
+  let rng = Util.Rng.create ~seed:77 in
+  let n = 60 in
+  let values = Array.init n (fun i -> i * 37 mod 101) in
+  let r =
+    Dqo.Optimize.maximize ~rng ~weights:(Array.make n 1.0) ~values ~compare
+      ~rho:(1.0 /. float_of_int n) ~delta:0.1
+      ~cost:{ Dqo.Cost.setup_rounds = 2; eval_rounds = 3 }
+      ()
+  in
+  Alcotest.(check (list int))
+    "first-touch order pinned"
+    [ 42; 13; 32; 19; 41; 47; 10; 30; 50; 18; 6; 53; 56; 51; 27; 44; 14; 36 ]
+    r.Dqo.Optimize.touched;
+  check "best pinned" 30 r.Dqo.Optimize.best_idx;
+  check "measurements pinned" 29 r.Dqo.Optimize.ledger.Dqo.Cost.measurements;
+  check "iterations pinned" 43 r.Dqo.Optimize.ledger.Dqo.Cost.grover_iterations;
+  check "search rounds pinned" 575 r.Dqo.Optimize.ledger.Dqo.Cost.search_rounds
+
+let test_exhaustive_direction () =
+  let values = [| 5; 1; 9; 3 |] in
+  let cost = { Dqo.Cost.setup_rounds = 0; eval_rounds = 1 } in
+  let mx = Dqo.Optimize.exhaustive ~values ~compare ~cost () in
+  check "default still maximizes" 2 mx.Dqo.Optimize.best_idx;
+  let mn = Dqo.Optimize.exhaustive ~direction:Dqo.Optimize.Minimize ~values ~compare ~cost () in
+  check "explicit minimize" 1 mn.Dqo.Optimize.best_idx;
+  let mn2 = Dqo.Optimize.exhaustive_min ~values ~compare ~cost in
+  check "exhaustive_min" 1 mn2.Dqo.Optimize.best_idx;
+  check "min charges every element" 4 mn2.Dqo.Optimize.ledger.Dqo.Cost.measurements;
+  (* Strict [better] keeps the first extremum on ties in both
+     directions. *)
+  let ties = [| 7; 7; 7 |] in
+  check "tie keeps first (max)" 0
+    (Dqo.Optimize.exhaustive ~values:ties ~compare ~cost ()).Dqo.Optimize.best_idx;
+  check "tie keeps first (min)" 0
+    (Dqo.Optimize.exhaustive_min ~values:ties ~compare ~cost).Dqo.Optimize.best_idx
+
+(* --------------------------- Framework ----------------------------- *)
+
+(* A toy (Setup, Evaluation, predicate) triple with a None hole every
+   7th index, exercising calibration filtering. *)
+let toy_triple ~direction ~values ~setup_cost =
+  let n = Array.length values in
+  Dqo.Framework.make ~name:"toy" ~direction ~compare
+    ~setup:(fun () ->
+      {
+        Dqo.Framework.weights = Array.make n 1.0;
+        values;
+        rho = 1.0 /. float_of_int n;
+        init_rounds = 5;
+      })
+    ~evaluate:(fun i -> if i mod 7 = 6 then None else Some (4 + (i mod 3)))
+    ~eval_rounds:(fun r -> r)
+    ~setup_cost:(fun _ -> setup_cost)
+    ~finalize:(fun _ -> 2) ()
+
+let framework_agreement_prop =
+  QCheck.Test.make
+    ~name:"framework: amplified = exhaustive reference, ledger conserved" ~count:60
+    QCheck.(triple (int_range 2 80) small_int (int_range 0 20))
+    (fun (n, seed, setup_cost) ->
+      let rng = Util.Rng.create ~seed:(seed + 1) in
+      let values = Array.init n (fun _ -> Util.Rng.int rng 1000) in
+      let direction =
+        if seed mod 2 = 0 then Dqo.Optimize.Maximize else Dqo.Optimize.Minimize
+      in
+      let a = toy_triple ~direction ~values ~setup_cost in
+      (* delta small enough that a guarantee miss across the whole
+         QCheck campaign is effectively impossible: the agreement
+         check below is the success guarantee, not a coin flip. *)
+      let o = Dqo.Framework.run ~rng ~delta:1e-6 a in
+      let reference = Dqo.Framework.reference a in
+      let conserved = Dqo.Framework.conserved o in
+      let agrees = o.Dqo.Framework.best_value = reference.Dqo.Optimize.best_value in
+      let touched_distinct =
+        List.length o.Dqo.Framework.touched
+        = List.length (List.sort_uniq compare o.Dqo.Framework.touched)
+      in
+      let best_touched = List.mem o.Dqo.Framework.best_idx o.Dqo.Framework.touched in
+      let evals_calibrated =
+        List.for_all
+          (fun (i, r) -> i mod 7 <> 6 && r = 4 + (i mod 3))
+          o.Dqo.Framework.evals
+      in
+      let reference_exhausts =
+        List.length reference.Dqo.Optimize.touched = n
+        && reference.Dqo.Optimize.ledger.Dqo.Cost.measurements = n
+      in
+      conserved && agrees && touched_distinct && best_touched && evals_calibrated
+      && reference_exhausts)
+
+let test_framework_charges_measured_costs () =
+  (* The ledger must be re-charged at the measured per-call cost: with
+     evaluations of 4..6 rounds and setup_cost 10, every charged call
+     costs 10 + t_eval_bound. *)
+  let rng = Util.Rng.create ~seed:21 in
+  let values = Array.init 40 (fun i -> (i * 13) mod 97) in
+  let a = toy_triple ~direction:Dqo.Optimize.Maximize ~values ~setup_cost:10 in
+  let o = Dqo.Framework.run ~rng a in
+  check "init rounds" 5 o.Dqo.Framework.ledger.Dqo.Cost.init_rounds;
+  check "setup cost measured" 10 o.Dqo.Framework.t_setup;
+  checkb "eval bound from measured evals" true
+    (o.Dqo.Framework.t_eval_bound >= 4 && o.Dqo.Framework.t_eval_bound <= 6);
+  check "answer rounds" 2 o.Dqo.Framework.answer_rounds;
+  let l = o.Dqo.Framework.ledger in
+  let per = o.Dqo.Framework.t_setup + o.Dqo.Framework.t_eval_bound in
+  check "search re-charged at measured cost"
+    ((l.Dqo.Cost.grover_iterations * 2 * per) + (l.Dqo.Cost.measurements * per))
+    l.Dqo.Cost.search_rounds;
+  check "total = init + search + answer"
+    (5 + l.Dqo.Cost.search_rounds + 2)
+    o.Dqo.Framework.rounds;
+  checkb "conserved" true (Dqo.Framework.conserved o)
+
 let () =
   Alcotest.run "dqo"
     [
@@ -207,5 +349,17 @@ let () =
           Alcotest.test_case "rho promise scaling" `Quick test_rho_promise_scaling;
           Alcotest.test_case "touched tracking" `Quick test_touched_tracks_measurements;
           Alcotest.test_case "weighted search" `Quick test_weighted_search;
+        ] );
+      ( "accounting regressions",
+        [
+          Alcotest.test_case "measurement cap = ledger" `Quick test_measurement_cap_matches_ledger;
+          Alcotest.test_case "touched dedup golden" `Quick test_touched_dedup_golden;
+          Alcotest.test_case "exhaustive direction" `Quick test_exhaustive_direction;
+        ] );
+      ( "framework (Setup, Evaluation, predicate)",
+        [
+          QCheck_alcotest.to_alcotest framework_agreement_prop;
+          Alcotest.test_case "measured cost recharge" `Quick
+            test_framework_charges_measured_costs;
         ] );
     ]
